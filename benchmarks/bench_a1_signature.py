@@ -1,0 +1,53 @@
+"""A1 — signature size ablation.
+
+Sweeping Bloom signature width on a large-footprint, low-true-conflict
+workload (ocean at doubled scale, with a generous chunk cap so chunks can
+actually grow): narrow signatures saturate and alias, cutting chunks early
+and inflating the log; wider signatures let chunks run to their true
+communication boundaries.
+"""
+
+from repro.analysis.chunks import chunk_size_stats, termination_breakdown
+from repro.analysis.report import render_table
+from repro.config import KernelConfig, MRRConfig, SimConfig
+from repro.mrr.chunk import Reason
+
+from conftest import BenchSuite, publish
+
+BITS = (32, 64, 128, 256, 512, 1024)
+
+
+def _config(bits: int) -> SimConfig:
+    return SimConfig(mrr=MRRConfig(signature_bits=bits),
+                     kernel=KernelConfig(quantum_instructions=20_000))
+
+
+def test_a1_signature_sweep(benchmark, suite: BenchSuite):
+    def measure():
+        return {bits: suite.record("ocean", scale=3,
+                                   config=_config(bits)).recording.chunks
+                for bits in BITS}
+
+    logs = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = []
+    for bits, chunks in sorted(logs.items()):
+        stats = chunk_size_stats(chunks)
+        breakdown = termination_breakdown(chunks)
+        conflict_frac = sum(breakdown.get(reason, 0.0)
+                            for reason in Reason.CONFLICTS)
+        rows.append((bits, stats.count, stats.mean,
+                     100 * conflict_frac,
+                     100 * breakdown.get(Reason.SATURATION, 0.0)))
+    table = render_table(
+        ("sig bits", "chunks", "mean chunk", "conflict %", "saturation %"),
+        rows, title="A1: Bloom signature width sweep (ocean, 20k quantum)")
+    publish("a1_signature", table)
+
+    # aliasing/saturation cuts chunks: the narrowest signature logs the
+    # most chunks with the smallest mean size
+    assert len(logs[32]) > len(logs[1024])
+    assert chunk_size_stats(logs[32]).mean < chunk_size_stats(logs[1024]).mean
+    # and the narrow configs show saturation terminations at all
+    narrow = termination_breakdown(logs[32])
+    assert narrow.get(Reason.SATURATION, 0.0) > 0.0

@@ -1,0 +1,40 @@
+"""A2 — chunk buffer (CBUF) sizing ablation.
+
+Smaller CBUFs interrupt the kernel more often to drain; the drain cost is
+pure software overhead. Sweeping the entry count shows the
+interrupt-frequency/overhead tradeoff that sized the prototype's buffer.
+"""
+
+from repro.analysis.report import render_table
+from repro.config import MRRConfig, SimConfig
+
+from conftest import BenchSuite, publish
+
+ENTRIES = (4, 16, 64, 256, 1024)
+
+
+def test_a2_cbuf_sweep(benchmark, suite: BenchSuite):
+    def measure():
+        out = {}
+        for entries in ENTRIES:
+            config = SimConfig(mrr=MRRConfig(cbuf_entries=entries))
+            out[entries] = suite.overhead("radix", config=config)
+        return out
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = []
+    for entries, result in sorted(results.items()):
+        stats = result.full.rsm_stats
+        rows.append((entries, stats["cbuf_drains"],
+                     stats["cycles_cbuf_drain"],
+                     100 * result.full_overhead))
+    table = render_table(
+        ("CBUF entries", "drain interrupts", "drain cycles", "full ovh %"),
+        rows, title="A2: chunk buffer sizing sweep (radix)")
+    publish("a2_cbuf", table)
+
+    drains = {entries: result.full.rsm_stats["cbuf_drains"]
+              for entries, result in results.items()}
+    assert drains[4] > drains[1024]
+    assert results[4].full_overhead > results[1024].full_overhead

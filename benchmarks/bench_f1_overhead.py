@@ -1,0 +1,45 @@
+"""F1 — recording overhead (the paper's central figure).
+
+Normalized execution time of each SPLASH workload under three
+configurations with identical interleavings: native, recording hardware
+only, and the full Capo3 software stack.
+
+Paper shape: hardware overhead is negligible (a few percent at most);
+the full stack averages ~13%, dominated by software costs.
+"""
+
+import statistics
+
+from repro.analysis.report import render_table
+
+from conftest import BENCH_SEED, SPLASH, BenchSuite, publish
+
+
+def test_f1_recording_overhead(benchmark, suite: BenchSuite):
+    def measure_all():
+        return [suite.overhead(name) for name in SPLASH]
+
+    results = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+
+    rows = []
+    for result in results:
+        rows.append((result.name, result.native.instructions,
+                     result.native.total_cycles,
+                     100 * result.hw_overhead, 100 * result.full_overhead))
+    hw_avg = statistics.mean(result.hw_overhead for result in results)
+    full_avg = statistics.mean(result.full_overhead for result in results)
+    rows.append(("GEOMEAN-ish avg", "", "", 100 * hw_avg, 100 * full_avg))
+
+    table = render_table(
+        ("workload", "instructions", "native cycles", "hw ovh %",
+         "full stack ovh %"),
+        rows,
+        title=f"F1: recording overhead, identical interleavings "
+              f"(seed={BENCH_SEED})")
+    publish("f1_overhead", table)
+
+    # Paper-shape assertions: hardware ~free, software low-double-digit avg.
+    assert hw_avg < 0.05, "recording hardware should be near-free"
+    assert 0.03 < full_avg < 0.35, "full stack should cost low double digits"
+    assert all(result.hw_overhead < result.full_overhead
+               for result in results)

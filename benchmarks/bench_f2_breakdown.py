@@ -1,0 +1,46 @@
+"""F2 — where the software overhead goes.
+
+Per-workload split of full-stack recording cycles into syscall
+interposition, input logging (copy-to-user data), CBUF drain interrupts,
+and context-switch state flushes.
+
+Paper shape: kernel-crossing work (interposition + input logging)
+dominates for syscall-heavy workloads; chunking-related software costs
+stay small.
+"""
+
+from repro.analysis.report import render_table
+
+from conftest import SPLASH, BenchSuite, publish
+
+
+def test_f2_software_breakdown(benchmark, suite: BenchSuite):
+    def measure():
+        return {name: suite.overhead(name) for name in SPLASH}
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = []
+    for name, result in results.items():
+        breakdown = result.software_breakdown()
+        rows.append((
+            name,
+            100 * result.full_overhead,
+            100 * breakdown["syscall_interposition"],
+            100 * breakdown["input_logging"],
+            100 * breakdown["cbuf_drain"],
+            100 * breakdown["ctx_switch_flush"],
+        ))
+    table = render_table(
+        ("workload", "full %", "interpose %", "input log %", "cbuf drain %",
+         "ctx flush %"),
+        rows, title="F2: software recording overhead breakdown "
+                    "(% of native cycles)")
+    publish("f2_breakdown", table)
+
+    for name, result in results.items():
+        breakdown = result.software_breakdown()
+        software = sum(breakdown.values())
+        # software components must account for ~all of full-vs-hw delta
+        delta = result.full_overhead - result.hw_overhead
+        assert abs(software - delta) < 0.02, name

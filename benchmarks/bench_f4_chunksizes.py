@@ -1,0 +1,42 @@
+"""F4 — chunk size distribution.
+
+Mean/median/p90 chunk sizes per workload plus a CDF over the whole suite.
+
+Paper shape: communication-light workloads run chunks of thousands of
+instructions; lock- and sharing-heavy workloads are cut far more often.
+"""
+
+from repro.analysis.chunks import chunk_size_stats, size_cdf
+from repro.analysis.report import render_table
+
+from conftest import MICROS, SPLASH, BenchSuite, publish
+
+
+def test_f4_chunk_sizes(benchmark, suite: BenchSuite):
+    def measure():
+        return {name: suite.record(name).recording.chunks
+                for name in SPLASH + MICROS}
+
+    logs = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = []
+    for name, chunks in logs.items():
+        stats = chunk_size_stats(chunks)
+        rows.append((name, stats.count, stats.mean, stats.median,
+                     stats.p90, stats.maximum))
+    table = render_table(
+        ("workload", "chunks", "mean", "median", "p90", "max"),
+        rows, title="F4: chunk sizes (instructions per chunk)")
+
+    all_chunks = [chunk for chunks in logs.values() for chunk in chunks]
+    cdf_rows = [(point, 100 * fraction)
+                for point, fraction in size_cdf(all_chunks)]
+    cdf_table = render_table(("size <=", "% of chunks"), cdf_rows,
+                             title="F4b: suite-wide chunk size CDF")
+    publish("f4_chunksizes", table + "\n\n" + cdf_table)
+
+    barnes = chunk_size_stats(logs["barnes"])
+    water = chunk_size_stats(logs["water"])
+    counter = chunk_size_stats(logs["counter"])
+    # sharing intensity orders mean chunk size
+    assert barnes.mean > water.mean > counter.mean

@@ -1,0 +1,44 @@
+"""F5 — why chunks terminate.
+
+Per-workload fraction of chunk terminations by cause: true/false sharing
+conflicts (RAW/WAR/WAW), instruction-count cap, signature saturation, and
+kernel entries (syscalls, nondet traps, preemptions, exit).
+
+Paper shape: sharing-heavy workloads terminate mostly on conflicts;
+compute-heavy ones on size caps and scheduler quanta.
+"""
+
+from repro.analysis.chunks import termination_breakdown
+from repro.analysis.report import render_table
+from repro.mrr.chunk import Reason
+
+from conftest import MICROS, SPLASH, BenchSuite, publish
+
+_COLUMNS = (Reason.RAW, Reason.WAR, Reason.WAW, Reason.SIZE,
+            Reason.SATURATION, Reason.SYSCALL, Reason.NONDET,
+            Reason.PREEMPT, Reason.EXIT)
+
+
+def test_f5_termination_breakdown(benchmark, suite: BenchSuite):
+    def measure():
+        return {name: suite.record(name).recording.chunks
+                for name in SPLASH + MICROS}
+
+    logs = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = []
+    for name, chunks in logs.items():
+        breakdown = termination_breakdown(chunks)
+        rows.append((name,) + tuple(100 * breakdown.get(reason, 0.0)
+                                    for reason in _COLUMNS))
+    table = render_table(("workload",) + _COLUMNS, rows,
+                         title="F5: chunk termination causes (% of chunks)")
+    publish("f5_termination", table)
+
+    # shape: the atomic-contention micro is conflict-dominated
+    counter = termination_breakdown(logs["counter"], group_conflicts=True)
+    assert counter["conflict"] > 0.5
+    # every workload's chunks sum to 1
+    for name, chunks in logs.items():
+        breakdown = termination_breakdown(chunks)
+        assert abs(sum(breakdown.values()) - 1.0) < 1e-9, name

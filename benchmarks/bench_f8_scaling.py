@@ -1,0 +1,53 @@
+"""F8 — thread-count scaling.
+
+Full-stack overhead and chunk production at 1/2/4/8 threads on an 8-core
+machine, for one sharing-heavy and one compute-heavy workload.
+
+Paper shape: recording overhead stays roughly flat with thread count,
+while chunk (and thus log) production grows with communication.
+"""
+
+from repro.analysis.report import render_table
+from repro.config import MachineConfig, SimConfig
+
+from conftest import BenchSuite, publish
+
+EIGHT_CORES = SimConfig(machine=MachineConfig(num_cores=8))
+THREADS = (1, 2, 4, 8)
+NAMES = ("water", "barnes")
+
+
+def test_f8_thread_scaling(benchmark, suite: BenchSuite):
+    def measure():
+        out = {}
+        for name in NAMES:
+            for threads in THREADS:
+                out[(name, threads)] = suite.overhead(
+                    name, threads=threads, config=EIGHT_CORES)
+        return out
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = []
+    for (name, threads), result in sorted(results.items()):
+        recording = result.full.recording
+        chunks_per_ki = (1000 * len(recording.chunks)
+                         / result.full.instructions)
+        rows.append((name, threads, result.native.instructions,
+                     100 * result.full_overhead, len(recording.chunks),
+                     chunks_per_ki))
+    table = render_table(
+        ("workload", "threads", "instructions", "full ovh %", "chunks",
+         "chunks/ki"),
+        rows, title="F8: scaling with thread count (8-core machine)")
+    publish("f8_scaling", table)
+
+    for name in NAMES:
+        single = results[(name, 1)]
+        eight = results[(name, 8)]
+        chunk_rate = lambda r: (len(r.full.recording.chunks)
+                                / r.full.instructions)
+        # communication (chunk production) grows with threads
+        assert chunk_rate(eight) > chunk_rate(single)
+        # overhead stays in the same regime rather than exploding
+        assert eight.full_overhead < 6 * max(single.full_overhead, 0.02)

@@ -1,0 +1,37 @@
+"""T1 — platform parameters (the paper's QuickIA configuration table).
+
+Prints the simulated machine's configuration in the shape of the paper's
+platform table and benchmarks machine construction.
+"""
+
+from repro.analysis.report import render_table
+from repro.config import DEFAULT_CONFIG
+from repro.machine.machine import Machine
+
+from conftest import publish
+
+
+def test_t1_platform_table(benchmark):
+    machine = benchmark(Machine, DEFAULT_CONFIG.machine)
+    config = DEFAULT_CONFIG
+    rows = [
+        ("cores", f"{config.machine.num_cores} (2 sockets x 2 Pentium-class)"),
+        ("coherence", "MESI over a serializing snoop bus"),
+        ("L1 data cache", f"{config.machine.cache.size_bytes // 1024} KB, "
+                          f"{config.machine.cache.ways}-way, "
+                          f"{config.machine.cache.line_bytes} B lines"),
+        ("store buffer", f"{config.machine.store_buffer.entries} entries (TSO)"),
+        ("memory", f"{config.machine.memory_bytes >> 20} MB"),
+        ("MRR signatures", f"{config.mrr.signature_bits}-bit Bloom x2 "
+                           f"(R/W), {config.mrr.signature_hashes} H3 hashes"),
+        ("chunk size cap", f"{config.mrr.max_chunk_instructions:,} instructions"),
+        ("CBUF", f"{config.mrr.cbuf_entries} entries x 16 B"),
+        ("chunk timestamp", "globally synchronized counter (invariant TSC)"),
+        ("TSO handling", f"{config.mrr.tso_mode} (reordered-store window)"),
+        ("scheduler quantum", f"{config.kernel.quantum_instructions:,} instructions"),
+    ]
+    table = render_table(("parameter", "value"), rows,
+                         title="T1: simulated QuickRec platform")
+    publish("t1_platform", table)
+    assert machine.config == config.machine
+    assert len(machine.cores) == 4

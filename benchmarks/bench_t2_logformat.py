@@ -1,0 +1,44 @@
+"""T2 — the packed chunk log entry format.
+
+Prints the 128-bit entry layout (the paper's log-entry table) and
+benchmarks encode/decode throughput of the packed format.
+"""
+
+from repro.analysis.report import render_table
+from repro.mrr.chunk import ChunkEntry, Reason
+from repro.mrr.logfmt import ENTRY_BYTES, decode_chunks, encode_chunks
+
+from conftest import publish
+
+
+def _sample_log(count=5000):
+    return [ChunkEntry(rthread=1 + i % 4, timestamp=i + 1,
+                       icount=200 + i % 97, memops=(i % 11) and 0,
+                       rsw=i % 3, reason=Reason.ALL[i % len(Reason.ALL)])
+            for i in range(count)]
+
+
+def test_t2_entry_layout(benchmark):
+    entries = _sample_log()
+
+    def round_trip():
+        return decode_chunks(encode_chunks(entries))
+
+    decoded = benchmark(round_trip)
+    assert decoded == entries
+
+    rows = [
+        ("rthread", "u8", "replay-sphere thread id"),
+        ("reason", "u8", "termination cause (RAW/WAR/WAW/size/saturation/"
+                         "syscall/nondet/preempt/exit)"),
+        ("RSW", "u16", "stores pending in the store buffer at termination"),
+        ("timestamp", "u32", "globally synchronized chunk timestamp"),
+        ("icount", "u32", "instructions retired in the chunk"),
+        ("memops", "u32", "memory ops completed by the in-flight rep_* "
+                          "instruction"),
+    ]
+    table = render_table(("field", "width", "meaning"), rows,
+                         title=f"T2: packed chunk entry "
+                               f"({8 * ENTRY_BYTES} bits)")
+    publish("t2_logformat", table)
+    assert ENTRY_BYTES == 16

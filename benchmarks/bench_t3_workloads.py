@@ -1,0 +1,38 @@
+"""T3 — the workload suite (the paper's benchmarks-and-inputs table).
+
+Per workload: category, threads, retired instructions, syscall count, and
+input bytes read — the characteristics that drive recording behaviour.
+"""
+
+from repro import workloads
+from repro.analysis.report import render_table
+
+from conftest import BENCH_SCALE, MICROS, SPLASH, publish, BenchSuite
+
+
+def test_t3_workload_characteristics(benchmark, suite: BenchSuite):
+    def record_representative():
+        return suite.record("fft")
+
+    benchmark.pedantic(record_representative, rounds=1, iterations=1)
+
+    rows = []
+    for name in SPLASH + MICROS:
+        outcome = suite.record(name)
+        workload = workloads.get(name)
+        stats = outcome.kernel_stats
+        rows.append((
+            name,
+            workload.category,
+            workload.default_threads,
+            outcome.instructions,
+            stats["syscalls"] + stats["nondet_traps"],
+            stats["copy_to_user_bytes"],
+            len(outcome.recording.chunks),
+        ))
+    table = render_table(
+        ("workload", "kind", "thr", "instructions", "syscalls",
+         "input B", "chunks"),
+        rows, title=f"T3: workload suite (scale={BENCH_SCALE})")
+    publish("t3_workloads", table)
+    assert all(row[3] > 0 for row in rows)

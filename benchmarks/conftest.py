@@ -1,0 +1,76 @@
+"""Shared infrastructure for the evaluation benchmarks.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper's
+evaluation (see DESIGN.md's experiment index). Recordings and overhead
+measurements are cached per session so the figure benches don't repeat
+work; every bench writes its rendered table to ``benchmarks/results/`` and
+prints it (visible with ``pytest -s`` or in the saved files).
+
+Knobs:
+    REPRO_BENCH_SCALE    problem-size multiplier (default 2)
+    REPRO_BENCH_SEED     interleaving seed (default 2)
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import session, workloads
+from repro.perf.overhead import OverheadResult, measure_overhead
+
+BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "2"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SPLASH = tuple(workloads.splash_names())
+MICROS = ("counter", "dekker", "iobound", "pingpong")
+
+
+class BenchSuite:
+    """Lazily records workloads and measures overheads, once per session."""
+
+    def __init__(self):
+        self._recordings: dict[tuple, session.RunOutcome] = {}
+        self._overheads: dict[tuple, OverheadResult] = {}
+
+    def build(self, name: str, threads: int | None = None,
+              scale: int | None = None):
+        return workloads.build(name, threads=threads,
+                               scale=BENCH_SCALE if scale is None else scale)
+
+    def record(self, name: str, threads: int | None = None,
+               scale: int | None = None, config=None,
+               seed: int = BENCH_SEED) -> session.RunOutcome:
+        key = ("rec", name, threads, scale, config, seed)
+        if key not in self._recordings:
+            program, inputs = self.build(name, threads=threads, scale=scale)
+            self._recordings[key] = session.record(
+                program, seed=seed, input_files=inputs, config=config)
+        return self._recordings[key]
+
+    def overhead(self, name: str, threads: int | None = None,
+                 scale: int | None = None, config=None,
+                 seed: int = BENCH_SEED) -> OverheadResult:
+        key = ("ovh", name, threads, scale, config, seed)
+        if key not in self._overheads:
+            program, inputs = self.build(name, threads=threads, scale=scale)
+            self._overheads[key] = measure_overhead(
+                program, seed=seed, input_files=inputs, name=name,
+                config=config)
+        return self._overheads[key]
+
+
+@pytest.fixture(scope="session")
+def suite() -> BenchSuite:
+    return BenchSuite()
+
+
+def publish(experiment_id: str, text: str) -> None:
+    """Print a figure/table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

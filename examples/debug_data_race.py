@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Deterministic debugging of a rare atomicity bug — the RnR use case.
+
+A bank with per-account spinlocks transfers money between accounts. The
+buggy transfer path takes the two locks one at a time and releases the
+source lock before locking the destination — so a concurrent audit
+(which sums all balances under the locks) can observe money "in flight"
+and report a corrupted total. The bug only fires on unlucky
+interleavings.
+
+The script hunts seeds until a recording catches the bug, saves the
+recording to disk, then replays it several times: every replay reproduces
+the exact corrupted audit — the failure is now deterministic and can be
+studied from the chunk log (which shows the audit's chunks interleaving
+the transfer's).
+
+Run:  python examples/debug_data_race.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import KernelBuilder, session
+from repro.capo.recording import Recording
+
+ACCOUNTS = 4
+TRANSFERS = 30
+AUDITS = 25
+INITIAL = 1000
+
+
+def build_program():
+    b = KernelBuilder()
+    b.word("balances", *([INITIAL] * ACCOUNTS))
+    b.word("locks", *([0] * ACCOUNTS))
+    b.word("bad_audits", 0)
+    b.word("done", 0)
+    b.space("stacks", 2 * 4096)
+    b.space("out", 4)
+
+    def lock(index_reg, scratch="r12"):
+        acquire = b.fresh("acq")
+        spin = b.fresh("spin")
+        got = b.fresh("got")
+        b.ins("shl", "r4", index_reg, 2)
+        b.label(acquire)
+        b.ins("mov", scratch, 1)
+        b.ins("xchg", "[locks + r4]", scratch)
+        b.ins("test", scratch, scratch)
+        b.ins("je", got)
+        b.label(spin)
+        b.ins("pause")
+        b.ins("load", scratch, "[locks + r4]")
+        b.ins("test", scratch, scratch)
+        b.ins("jne", spin)
+        b.ins("jmp", acquire)
+        b.label(got)
+
+    def unlock(index_reg):
+        b.ins("shl", "r4", index_reg, 2)
+        b.ins("store", "[locks + r4]", 0)
+
+    b.label("main")
+    b.ins("mov", "r9", "stacks")
+    b.ins("add", "r9", "r9", 2 * 4096 - 16)
+    b.spawn("auditor", "r9", 1)
+    # -- transfer thread (buggy: drops source lock before taking dest) -----
+    with b.for_range("r14", 0, TRANSFERS):
+        b.ins("mod", "r10", "r14", ACCOUNTS)          # src account
+        b.ins("add", "r11", "r10", 1)
+        b.ins("mod", "r11", "r11", ACCOUNTS)          # dst account
+        lock("r10")
+        b.ins("load", "r7", "[balances + r10*4]")
+        b.ins("sub", "r7", "r7", 10)                  # withdraw
+        b.ins("store", "[balances + r10*4]", "r7")
+        unlock("r10")                                 # BUG: money in flight
+        lock("r11")
+        b.ins("load", "r7", "[balances + r11*4]")
+        b.ins("add", "r7", "r7", 10)                  # deposit
+        b.ins("store", "[balances + r11*4]", "r7")
+        unlock("r11")
+    join = b.label("join")
+    b.ins("pause")
+    b.ins("load", "r7", "[done]")
+    b.ins("test", "r7", "r7")
+    b.ins("je", join)
+    b.ins("load", "r7", "[bad_audits]")
+    b.ins("store", "[out]", "r7")
+    b.write(1, "out", 4)
+    b.exit(0)
+
+    # -- auditor: sums balances under all locks ------------------------------
+    b.label("auditor")
+    with b.for_range("r14", 0, AUDITS):
+        b.ins("mov", "r8", 0)                          # running total
+        with b.for_range("r6", 0, ACCOUNTS):
+            lock("r6")
+            b.ins("load", "r7", "[balances + r6*4]")
+            b.ins("add", "r8", "r8", "r7")
+            unlock("r6")
+        with b.if_not_equal("r8", ACCOUNTS * INITIAL):
+            b.ins("load", "r7", "[bad_audits]")
+            b.ins("add", "r7", "r7", 1)
+            b.ins("store", "[bad_audits]", "r7")
+    b.ins("store", "[done]", 1)
+    b.exit(0)
+    return b.build("bank")
+
+
+def bad_audits_of(outcome_outputs) -> int:
+    return int.from_bytes(outcome_outputs["stdout"][:4], "little")
+
+
+def main() -> None:
+    program = build_program()
+
+    print("hunting for an interleaving that corrupts an audit...")
+    failing = None
+    for seed in range(200):
+        outcome = session.record(program, seed=seed)
+        count = bad_audits_of(outcome.outputs)
+        if count > 0:
+            failing = (seed, outcome, count)
+            break
+    assert failing is not None, "no failing interleaving in 200 seeds"
+    seed, outcome, count = failing
+    print(f"  seed {seed}: {count} corrupted audit(s) observed")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        rec_dir = Path(tmp) / "bank-bug"
+        outcome.recording.save(rec_dir)
+        print(f"  recording saved to {rec_dir} "
+              f"({outcome.recording.total_log_bytes():,} log bytes)")
+
+        loaded = Recording.load(rec_dir)
+        print("\nreplaying the failing run five times:")
+        for attempt in range(5):
+            replayed = session.replay_recording(loaded)
+            replay_count = bad_audits_of(replayed.outputs)
+            report = session.verify(outcome, replayed)
+            print(f"  replay {attempt + 1}: {replay_count} corrupted "
+                  f"audit(s), verification {'ok' if report.ok else 'FAILED'}")
+            assert report.ok and replay_count == count
+
+    # the chunk log shows WHY: the auditor's chunks interleave the
+    # transfer's between the two lock regions
+    transfers = [c for c in outcome.recording.chunks if c.rthread == 1]
+    audits = [c for c in outcome.recording.chunks if c.rthread == 2]
+    print(f"\nchunk log: transfer thread cut into {len(transfers)} chunks, "
+          f"auditor into {len(audits)} — every conflict the auditor won "
+          f"mid-transfer is ordered in the log, which is what makes the "
+          f"bug replay deterministically.")
+
+
+if __name__ == "__main__":
+    main()

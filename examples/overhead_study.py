@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's headline: recording hardware is ~free, the
+software stack costs ~13% — and show where the software cycles go.
+
+Runs every SPLASH-style workload in three configurations under identical
+interleavings (native / MRR hardware only / full Capo3 stack) and prints
+the overhead figure plus the software breakdown.
+
+Run:  python examples/overhead_study.py [scale]
+"""
+
+import statistics
+import sys
+
+from repro import workloads
+from repro.analysis.report import render_table
+from repro.perf.overhead import measure_overhead
+
+
+def main() -> None:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 2
+    results = []
+    for name in workloads.splash_names():
+        program, inputs = workloads.build(name, scale=scale)
+        print(f"measuring {name} ...")
+        results.append(measure_overhead(program, seed=7, name=name,
+                                        input_files=inputs))
+
+    rows = [(r.name, r.native.instructions, 100 * r.hw_overhead,
+             100 * r.full_overhead) for r in results]
+    hw_avg = statistics.mean(r.hw_overhead for r in results)
+    full_avg = statistics.mean(r.full_overhead for r in results)
+    rows.append(("average", "", 100 * hw_avg, 100 * full_avg))
+    print()
+    print(render_table(
+        ("workload", "instructions", "hw-only ovh %", "full stack ovh %"),
+        rows, title=f"recording overhead (scale={scale}, "
+                    "identical interleavings)"))
+
+    breakdown_rows = []
+    for r in results:
+        b = r.software_breakdown()
+        breakdown_rows.append((
+            r.name,
+            100 * b["syscall_interposition"],
+            100 * b["input_logging"],
+            100 * b["cbuf_drain"],
+            100 * b["ctx_switch_flush"],
+        ))
+    print()
+    print(render_table(
+        ("workload", "interpose %", "input log %", "cbuf drain %",
+         "ctx flush %"),
+        breakdown_rows, title="software overhead breakdown "
+                              "(% of native cycles)"))
+
+    print(f"\npaper's shape: hardware negligible (measured "
+          f"{100 * hw_avg:.1f}%), software stack low double digits "
+          f"(measured {100 * full_avg:.1f}%), dominated by kernel-crossing "
+          f"work — interposition plus input logging.")
+
+
+if __name__ == "__main__":
+    main()

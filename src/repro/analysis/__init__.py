@@ -1,0 +1,25 @@
+"""Log analysis: the measurements behind the evaluation figures."""
+
+from .chunks import (
+    chunk_size_stats,
+    rsw_stats,
+    size_cdf,
+    termination_breakdown,
+)
+from .logs import LogRates, log_rates
+from .report import render_kv, render_table
+from .timeline import interleaving_window, render_recording_timeline, render_timeline
+
+__all__ = [
+    "chunk_size_stats",
+    "rsw_stats",
+    "size_cdf",
+    "termination_breakdown",
+    "LogRates",
+    "log_rates",
+    "render_kv",
+    "render_table",
+    "interleaving_window",
+    "render_recording_timeline",
+    "render_timeline",
+]

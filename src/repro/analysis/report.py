@@ -1,0 +1,52 @@
+"""Fixed-width table rendering for bench output.
+
+The benchmarks print paper-shaped tables; this keeps them consistent and
+readable in pytest output without pulling in a dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: str | None = None) -> str:
+    """Render an aligned ASCII table."""
+    formatted = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in formatted:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * width for width in widths]))
+    for row in formatted:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def render_kv(pairs: dict[str, Any], title: str | None = None) -> str:
+    """Render a key/value block."""
+    width = max((len(key) for key in pairs), default=0)
+    out = []
+    if title:
+        out.append(title)
+    for key, value in pairs.items():
+        out.append(f"  {key.ljust(width)}  {_format_cell(value)}")
+    return "\n".join(out)

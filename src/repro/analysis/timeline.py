@@ -1,0 +1,86 @@
+"""Text timelines of a recording's thread interleaving.
+
+Renders the chunk schedule as one row per R-thread over a bucketed
+timestamp axis — the at-a-glance view of who ran when and why chunks were
+cut, which is how an engineer reads a recording before stepping it with
+the inspector.
+
+Bucket glyphs (dominant termination cause in the bucket):
+
+    C  conflict (RAW/WAR/WAW)        s  syscall / nondet trap
+    #  size cap / signature saturation
+    p  preemption                    x  thread exit
+    .  no chunk of this thread ended here
+"""
+
+from __future__ import annotations
+
+from ..capo.recording import Recording
+from ..mrr.chunk import ChunkEntry, Reason
+
+_GLYPHS = {
+    Reason.RAW: "C",
+    Reason.WAR: "C",
+    Reason.WAW: "C",
+    Reason.SIZE: "#",
+    Reason.SATURATION: "#",
+    Reason.SYSCALL: "s",
+    Reason.NONDET: "s",
+    Reason.PREEMPT: "p",
+    Reason.EXIT: "x",
+}
+
+# Render priority when several causes land in one bucket.
+_PRIORITY = {"x": 5, "s": 4, "#": 3, "p": 2, "C": 1, ".": 0}
+
+
+def render_timeline(chunks: list[ChunkEntry], width: int = 72) -> str:
+    """Render a bucketed per-thread timeline of a chunk log."""
+    if not chunks:
+        return "(empty chunk log)"
+    if width < 8:
+        raise ValueError("timeline width must be at least 8 columns")
+    first = min(chunk.timestamp for chunk in chunks)
+    last = max(chunk.timestamp for chunk in chunks)
+    span = max(1, last - first + 1)
+    rthreads = sorted({chunk.rthread for chunk in chunks})
+
+    rows = {rthread: ["."] * width for rthread in rthreads}
+    for chunk in chunks:
+        bucket = min(width - 1, (chunk.timestamp - first) * width // span)
+        glyph = _GLYPHS[chunk.reason]
+        current = rows[chunk.rthread][bucket]
+        if _PRIORITY[glyph] > _PRIORITY[current]:
+            rows[chunk.rthread][bucket] = glyph
+
+    header = (f"timestamps {first}..{last}  "
+              f"({len(chunks)} chunks, {span // width or 1} ts/column)")
+    lines = [header]
+    for rthread in rthreads:
+        count = sum(1 for chunk in chunks if chunk.rthread == rthread)
+        lines.append(f"  t{rthread:<3d} |{''.join(rows[rthread])}| "
+                     f"{count} chunks")
+    lines.append("  key: C conflict  s syscall/nondet  # size/saturation  "
+                 "p preempt  x exit")
+    return "\n".join(lines)
+
+
+def render_recording_timeline(recording: Recording, width: int = 72) -> str:
+    return render_timeline(recording.chunks, width=width)
+
+
+def interleaving_window(chunks: list[ChunkEntry], center_index: int,
+                        radius: int = 5) -> str:
+    """A detailed listing of the schedule around one chunk (for zooming in
+    on what the timeline shows)."""
+    ordered = sorted(chunks, key=lambda chunk: chunk.sort_key)
+    lines = []
+    lo = max(0, center_index - radius)
+    hi = min(len(ordered), center_index + radius + 1)
+    for index in range(lo, hi):
+        chunk = ordered[index]
+        marker = "->" if index == center_index else "  "
+        lines.append(
+            f"{marker} [{index:5d}] ts={chunk.timestamp:<8d} t{chunk.rthread} "
+            f"{chunk.reason:<10s} icount={chunk.icount:<6d} rsw={chunk.rsw}")
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""The per-core chunk buffer (CBUF).
+
+Hardware appends packed chunk entries here; when the buffer fills, the
+overflow interrupt fires and the RSM drains it to the log. CBUF sizing is
+an overhead knob (ablation A2): small buffers interrupt often, large ones
+cost on-chip memory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..mrr.chunk import ChunkEntry
+
+
+class ChunkBuffer:
+    """Bounded entry buffer with an overflow-drain callback."""
+
+    def __init__(self, capacity: int,
+                 on_drain: Callable[[list[ChunkEntry]], None]):
+        if capacity < 1:
+            raise ValueError("CBUF capacity must be >= 1")
+        self.capacity = capacity
+        self._on_drain = on_drain
+        self._entries: list[ChunkEntry] = []
+        self.drains = 0
+        self.appended = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def append(self, entry: ChunkEntry) -> None:
+        self._entries.append(entry)
+        self.appended += 1
+        if len(self._entries) >= self.capacity:
+            self.drain()
+
+    def drain(self) -> int:
+        """Hand buffered entries to the RSM; returns how many."""
+        if not self._entries:
+            return 0
+        batch = self._entries
+        self._entries = []
+        self.drains += 1
+        self._on_drain(batch)
+        return len(batch)

@@ -1,0 +1,112 @@
+"""Binary serialization of the input-event log.
+
+Stream layout: a header (magic ``QRIL``, version, event count) followed by
+varint-packed events. Copy payloads are stored inline (address, length,
+bytes). Sizes measured on this format feed the F3 log-rate figure's
+input-log series.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Sequence
+
+from ..errors import LogFormatError
+from .events import (
+    InputEvent,
+    KIND_CODES,
+    KIND_NAMES,
+    NONDET_CODES,
+    NONDET_KINDS,
+)
+
+MAGIC = b"QRIL"
+VERSION = 1
+_HEADER = struct.Struct("<4sBBHI")
+
+
+def _varint(value: int) -> bytes:
+    if value < 0:
+        raise LogFormatError("varint requires non-negative value")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def _read_varint(blob: bytes, offset: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(blob):
+            raise LogFormatError("truncated varint in input log")
+        byte = blob[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+
+
+def encode_events(events: Sequence[InputEvent]) -> bytes:
+    out = bytearray(_HEADER.pack(MAGIC, VERSION, 0, 0, len(events)))
+    for event in events:
+        out += _varint(event.rthread)
+        out += _varint(event.seq)
+        out += _varint(event.chunk_seq)
+        out += _varint(KIND_CODES[event.kind])
+        out += _varint(event.sysno)
+        out += _varint(event.value)
+        out += _varint(NONDET_CODES[event.nondet_kind])
+        out += _varint(len(event.copies))
+        for addr, data in event.copies:
+            out += _varint(addr)
+            out += _varint(len(data))
+            out += data
+    return bytes(out)
+
+
+def decode_events(blob: bytes) -> list[InputEvent]:
+    if len(blob) < _HEADER.size:
+        raise LogFormatError("input log truncated before header")
+    magic, version, _f, _r, count = _HEADER.unpack_from(blob, 0)
+    if magic != MAGIC:
+        raise LogFormatError(f"bad input log magic {magic!r}")
+    if version != VERSION:
+        raise LogFormatError(f"unsupported input log version {version}")
+    events: list[InputEvent] = []
+    offset = _HEADER.size
+    for _ in range(count):
+        rthread, offset = _read_varint(blob, offset)
+        seq, offset = _read_varint(blob, offset)
+        chunk_seq, offset = _read_varint(blob, offset)
+        kind_code, offset = _read_varint(blob, offset)
+        sysno, offset = _read_varint(blob, offset)
+        value, offset = _read_varint(blob, offset)
+        nondet_code, offset = _read_varint(blob, offset)
+        copy_count, offset = _read_varint(blob, offset)
+        copies = []
+        for _ in range(copy_count):
+            addr, offset = _read_varint(blob, offset)
+            length, offset = _read_varint(blob, offset)
+            if offset + length > len(blob):
+                raise LogFormatError("truncated copy payload")
+            copies.append((addr, blob[offset:offset + length]))
+            offset += length
+        kind = KIND_NAMES.get(kind_code)
+        if kind is None:
+            raise LogFormatError(f"unknown event kind code {kind_code}")
+        if nondet_code >= len(NONDET_KINDS):
+            raise LogFormatError(f"unknown nondet kind code {nondet_code}")
+        events.append(InputEvent(rthread=rthread, seq=seq, chunk_seq=chunk_seq,
+                                 kind=kind, sysno=sysno, value=value,
+                                 nondet_kind=NONDET_KINDS[nondet_code],
+                                 copies=tuple(copies)))
+    if offset != len(blob):
+        raise LogFormatError("trailing bytes in input log")
+    return events

@@ -1,0 +1,130 @@
+"""The recording bundle: everything replay is allowed to see.
+
+A recording contains the program image, the configuration it ran under, the
+chunk log, the input-event log, and verification metadata (final memory
+digest, output file contents, exit codes). Notably it does *not* contain
+the scheduler or interleaver seeds — if replay needed those, the logs would
+not be capturing the nondeterminism.
+
+Bundles round-trip to a directory::
+
+    rec/
+      manifest.json   config + metadata + log sizes
+      program.json    the exact program image
+      input.bin       input-event log
+      chunks.bin      packed chunk log (raw format)
+      chunks.qrz      compressed chunk log (when enabled)
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..config import SimConfig
+from ..errors import LogFormatError
+from ..isa.program import Program
+from ..mrr.chunk import ChunkEntry
+from ..mrr.compression import compress_chunks, decompress_chunks
+from ..mrr.logfmt import decode_chunks, encode_chunks
+from .events import InputEvent
+from .input_log import decode_events, encode_events
+
+MANIFEST_NAME = "manifest.json"
+PROGRAM_NAME = "program.json"
+INPUT_NAME = "input.bin"
+CHUNKS_NAME = "chunks.bin"
+CHUNKS_COMPRESSED_NAME = "chunks.qrz"
+
+
+@dataclass
+class Recording:
+    """A complete, self-contained recording of one run."""
+
+    config: SimConfig
+    program: Program
+    chunks: list[ChunkEntry]
+    events: list[InputEvent]
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    # -- derived sizes (the log-rate experiments) ----------------------------
+
+    def chunk_log_bytes(self) -> int:
+        return len(encode_chunks(self.chunks,
+                                 with_load_hash=self.config.mrr.log_load_hash))
+
+    def chunk_log_compressed_bytes(self) -> int:
+        return len(compress_chunks(self.chunks))
+
+    def input_log_bytes(self) -> int:
+        return len(encode_events(self.events))
+
+    def total_log_bytes(self) -> int:
+        return self.chunk_log_bytes() + self.input_log_bytes()
+
+    def chunks_of(self, rthread: int) -> list[ChunkEntry]:
+        return [chunk for chunk in self.chunks if chunk.rthread == rthread]
+
+    def events_of(self, rthread: int) -> list[InputEvent]:
+        return [event for event in self.events if event.rthread == rthread]
+
+    def rthreads(self) -> list[int]:
+        return sorted({chunk.rthread for chunk in self.chunks})
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, directory: str | Path) -> Path:
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        with_hash = self.config.mrr.log_load_hash
+        chunk_blob = encode_chunks(self.chunks, with_load_hash=with_hash)
+        input_blob = encode_events(self.events)
+        (directory / CHUNKS_NAME).write_bytes(chunk_blob)
+        (directory / INPUT_NAME).write_bytes(input_blob)
+        if self.config.capo.compress_chunk_log:
+            (directory / CHUNKS_COMPRESSED_NAME).write_bytes(
+                compress_chunks(self.chunks))
+        manifest = {
+            "format": "quickrec-recording",
+            "version": 1,
+            "config": self.config.to_dict(),
+            "metadata": self.metadata,
+            "chunk_count": len(self.chunks),
+            "event_count": len(self.events),
+            "chunk_log_bytes": len(chunk_blob),
+            "input_log_bytes": len(input_blob),
+        }
+        (directory / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+        (directory / PROGRAM_NAME).write_text(json.dumps(self.program.to_dict()))
+        return directory
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "Recording":
+        directory = Path(directory)
+        try:
+            manifest = json.loads((directory / MANIFEST_NAME).read_text())
+        except FileNotFoundError as exc:
+            raise LogFormatError(f"no manifest in {directory}") from exc
+        if manifest.get("format") != "quickrec-recording":
+            raise LogFormatError("not a quickrec recording directory")
+        config = SimConfig.from_dict(manifest["config"])
+        program = Program.from_dict(
+            json.loads((directory / PROGRAM_NAME).read_text()))
+        chunk_path = directory / CHUNKS_NAME
+        if chunk_path.exists():
+            chunks = decode_chunks(chunk_path.read_bytes())
+        else:
+            compressed = directory / CHUNKS_COMPRESSED_NAME
+            if not compressed.exists():
+                raise LogFormatError(f"no chunk log in {directory}")
+            chunks = decompress_chunks(compressed.read_bytes())
+        events = decode_events((directory / INPUT_NAME).read_bytes())
+        recording = cls(config=config, program=program, chunks=chunks,
+                        events=events, metadata=manifest.get("metadata", {}))
+        if len(recording.chunks) != manifest.get("chunk_count"):
+            raise LogFormatError("chunk count mismatch against manifest")
+        if len(recording.events) != manifest.get("event_count"):
+            raise LogFormatError("event count mismatch against manifest")
+        return recording

@@ -1,0 +1,201 @@
+"""The Replay Sphere Manager.
+
+The RSM is Capo3's kernel-side core: it owns the recorders, the chunk
+buffers and the logs, and it is invoked by the kernel at every crossing.
+Two modes:
+
+- ``hw``   — the MRR runs and chunk entries are buffered/drained, but no
+  input logging and no software cycle charges. This is the "recording
+  hardware only" configuration of the paper's overhead figure: its cost is
+  just the CBUF entry traffic.
+- ``full`` — the complete Capo3 stack: input logging (with per-event and
+  per-byte charges), CBUF drain interrupts, syscall interposition and
+  context-switch flush costs. This is the configuration whose overhead the
+  paper reports at ~13% on average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import SimConfig
+from ..errors import RecordingError
+from ..machine.machine import Core, Machine
+from ..mrr.chunk import ChunkEntry, Reason
+from ..mrr.recorder import MemoryRaceRecorder
+from .chunk_buffer import ChunkBuffer
+from .events import (
+    EV_EXIT,
+    EV_NONDET,
+    EV_SIGNAL,
+    EV_SIGRETURN,
+    EV_SYSCALL,
+    InputEvent,
+)
+from .sphere import ReplaySphere
+
+MODE_HW = "hw"
+MODE_FULL = "full"
+MODES = (MODE_HW, MODE_FULL)
+
+
+@dataclass
+class RSMStats:
+    chunks: int = 0
+    input_events: int = 0
+    input_payload_bytes: int = 0
+    cbuf_drains: int = 0
+    cycles_interpose: int = 0
+    cycles_input_log: int = 0
+    cycles_cbuf_drain: int = 0
+    cycles_ctx_flush: int = 0
+    cycles_cbuf_write: int = 0
+
+    @property
+    def cycles_software(self) -> int:
+        return (self.cycles_interpose + self.cycles_input_log
+                + self.cycles_cbuf_drain + self.cycles_ctx_flush)
+
+    def as_dict(self) -> dict:
+        out = dict(self.__dict__)
+        out["cycles_software"] = self.cycles_software
+        return out
+
+
+class ReplaySphereManager:
+    """Wires the MRRs into the machine and the kernel."""
+
+    def __init__(self, machine: Machine, config: SimConfig, mode: str = MODE_FULL):
+        if mode not in MODES:
+            raise RecordingError(f"unknown recording mode {mode!r}")
+        self.machine = machine
+        self.config = config
+        self.mode = mode
+        self.sphere = ReplaySphere()
+        self.chunk_log: list[ChunkEntry] = []
+        self.events: list[InputEvent] = []
+        self.stats = RSMStats()
+        self._seq = 0
+        self._cbufs: list[ChunkBuffer] = []
+        for core in machine.cores:
+            cbuf = ChunkBuffer(config.mrr.cbuf_entries,
+                               self._make_drain_handler(core))
+            self._cbufs.append(cbuf)
+            recorder = MemoryRaceRecorder(config.mrr, core,
+                                          self._make_sink(core, cbuf))
+            machine.attach_recorder(core.core_id, recorder)
+
+    # -- wiring ---------------------------------------------------------------
+
+    def _make_sink(self, core: Core, cbuf: ChunkBuffer):
+        cost = self.machine.cost
+
+        def sink(entry: ChunkEntry) -> None:
+            self.sphere.note_chunk(entry.rthread)
+            self.stats.chunks += 1
+            core.cycles += cost.cbuf_entry_write
+            self.stats.cycles_cbuf_write += cost.cbuf_entry_write
+            cbuf.append(entry)
+
+        return sink
+
+    def _make_drain_handler(self, core: Core):
+        cost = self.machine.cost
+
+        def on_drain(batch: list[ChunkEntry]) -> None:
+            self.chunk_log.extend(batch)
+            self.stats.cbuf_drains += 1
+            if self.mode == MODE_FULL:
+                charge = (cost.cbuf_drain_interrupt
+                          + cost.cbuf_drain_per_entry * len(batch))
+                core.cycles += charge
+                self.stats.cycles_cbuf_drain += charge
+
+        return on_drain
+
+    # -- thread lifecycle ---------------------------------------------------------
+
+    def thread_started(self, task) -> None:
+        self.sphere.register(task.rthread)
+
+    # -- kernel crossings ------------------------------------------------------------
+
+    def on_kernel_entry(self, core: Core, task, reason: str) -> None:
+        core.recorder.terminate(reason)
+        if self.mode != MODE_FULL:
+            return
+        cost = self.machine.cost
+        if reason in (Reason.SYSCALL, Reason.EXIT):
+            core.cycles += cost.rsm_syscall_interpose
+            self.stats.cycles_interpose += cost.rsm_syscall_interpose
+        elif reason == Reason.NONDET:
+            core.cycles += cost.rsm_nondet_interpose
+            self.stats.cycles_interpose += cost.rsm_nondet_interpose
+
+    def on_kernel_exit(self, core: Core, task) -> None:
+        """Hook for symmetry with on_kernel_entry (no recording work is
+        needed at kernel exit: timestamps come from the global clock)."""
+
+    def on_dispatch(self, core: Core, task) -> None:
+        core.recorder.set_thread(task.rthread)
+
+    def on_undispatch(self, core: Core, task) -> None:
+        core.recorder.clear_thread()
+        if self.mode == MODE_FULL:
+            cost = self.machine.cost
+            core.cycles += cost.context_switch_flush
+            self.stats.cycles_ctx_flush += cost.context_switch_flush
+
+    # -- input logging -----------------------------------------------------------------
+
+    def _log(self, event: InputEvent, core: Core | None) -> None:
+        if self.mode != MODE_FULL:
+            return
+        self.events.append(event)
+        self.stats.input_events += 1
+        self.stats.input_payload_bytes += event.payload_bytes
+        cost = self.machine.cost
+        charge = cost.input_log_event + cost.input_log_per_byte * event.payload_bytes
+        if core is not None:
+            core.cycles += charge
+        self.stats.cycles_input_log += charge
+
+    def _event(self, task, kind: str, **fields) -> InputEvent:
+        self._seq += 1
+        return InputEvent(rthread=task.rthread, seq=self._seq,
+                          chunk_seq=self.sphere.chunk_count(task.rthread),
+                          kind=kind, **fields)
+
+    def _core_of(self, task) -> Core | None:
+        if task.core_id is None:
+            return None
+        return self.machine.cores[task.core_id]
+
+    def log_syscall(self, task, sysno: int, retval: int,
+                    copies: tuple[tuple[int, bytes], ...]) -> None:
+        event = self._event(task, EV_SYSCALL, sysno=sysno, value=retval,
+                            copies=tuple(copies))
+        self._log(event, self._core_of(task))
+
+    def log_nondet(self, task, kind: str, value: int) -> None:
+        event = self._event(task, EV_NONDET, nondet_kind=kind, value=value)
+        self._log(event, self._core_of(task))
+
+    def log_signal(self, task, signo: int) -> None:
+        event = self._event(task, EV_SIGNAL, value=signo)
+        self._log(event, self._core_of(task))
+
+    def log_sigreturn(self, task) -> None:
+        event = self._event(task, EV_SIGRETURN)
+        self._log(event, self._core_of(task))
+
+    def log_exit(self, task, code: int) -> None:
+        event = self._event(task, EV_EXIT, value=code)
+        self._log(event, self._core_of(task))
+
+    # -- finish ---------------------------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Flush every CBUF (end of recording)."""
+        for cbuf in self._cbufs:
+            cbuf.drain()

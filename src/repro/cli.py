@@ -1,0 +1,277 @@
+"""Command-line interface: ``quickrec`` (or ``python -m repro``).
+
+Subcommands::
+
+    quickrec list                         # available workloads
+    quickrec record fft -o /tmp/rec       # record a workload to disk
+    quickrec replay /tmp/rec              # replay + verify a saved recording
+    quickrec roundtrip fft radix          # record, replay, verify in memory
+    quickrec overhead fft --seed 3        # native / hw / full cycle compare
+    quickrec info /tmp/rec                # recording summary
+    quickrec timeline /tmp/rec            # per-thread interleaving timeline
+    quickrec debug /tmp/rec --watch counter   # replay until a word changes
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import session, workloads
+from .analysis import chunks as chunk_analysis
+from .analysis import logs as log_analysis
+from .analysis.report import render_kv, render_table
+from .capo.recording import Recording
+from .errors import ReproError
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--threads", type=int, default=None,
+                        help="thread count (default: workload default)")
+    parser.add_argument("--scale", type=int, default=1,
+                        help="problem-size multiplier")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="interleaving seed")
+    parser.add_argument("--policy", default="random",
+                        choices=("random", "rr", "bursty"))
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = [(w.name, w.category, w.default_threads, w.description)
+            for _name, w in sorted(workloads.REGISTRY.items())]
+    print(render_table(("name", "kind", "threads", "description"), rows,
+                       title="available workloads"))
+    return 0
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    program, inputs = workloads.build(args.workload, threads=args.threads,
+                                      scale=args.scale)
+    outcome = session.record(program, seed=args.seed, policy=args.policy,
+                             input_files=inputs)
+    recording = outcome.recording
+    print(render_kv({
+        "workload": args.workload,
+        "instructions": outcome.instructions,
+        "chunks": len(recording.chunks),
+        "input events": len(recording.events),
+        "chunk log bytes": recording.chunk_log_bytes(),
+        "input log bytes": recording.input_log_bytes(),
+        "cycles": outcome.total_cycles,
+    }, title="recorded"))
+    if args.out:
+        recording.save(args.out)
+        print(f"saved to {args.out}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    recording = Recording.load(args.directory)
+    result = session.replay_recording(recording)
+    meta = recording.metadata
+    ok = True
+    if "final_memory_digest" in meta:
+        from .replay.verify import verify_replay
+        outputs = {name: bytes.fromhex(data)
+                   for name, data in meta.get("outputs_hex", {}).items()}
+        exit_codes = {int(tid): code
+                      for tid, code in meta.get("exit_codes", {}).items()}
+        report = verify_replay(meta["final_memory_digest"], outputs,
+                               exit_codes, result)
+        print(report.summary())
+        ok = report.ok
+    else:
+        print("replayed (no verification metadata in bundle)")
+    print(render_kv({
+        "chunks replayed": result.stats.chunks,
+        "units executed": result.stats.units,
+        "events applied": result.stats.events,
+    }))
+    return 0 if ok else 1
+
+
+def _cmd_roundtrip(args: argparse.Namespace) -> int:
+    failures = 0
+    for name in args.workloads:
+        program, inputs = workloads.build(name, threads=args.threads,
+                                          scale=args.scale)
+        outcome, _replayed, report = session.record_and_replay(
+            program, seed=args.seed, policy=args.policy, input_files=inputs)
+        status = "ok" if report.ok else "DIVERGED"
+        print(f"{name:12s} {status}  instr={outcome.instructions:,} "
+              f"chunks={len(outcome.recording.chunks):,}")
+        if not report.ok:
+            failures += 1
+            print("  " + report.summary())
+    return 1 if failures else 0
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    from .perf.overhead import measure_overhead
+    rows = []
+    for name in args.workloads:
+        program, inputs = workloads.build(name, threads=args.threads,
+                                          scale=args.scale)
+        result = measure_overhead(program, seed=args.seed, policy=args.policy,
+                                  input_files=inputs, name=name)
+        rows.append((name, result.native.total_cycles,
+                     100 * result.hw_overhead, 100 * result.full_overhead))
+    print(render_table(
+        ("workload", "native cycles", "hw ovh %", "full ovh %"), rows,
+        title="recording overhead (cycles, identical interleavings)"))
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    recording = Recording.load(args.directory)
+    stats = chunk_analysis.chunk_size_stats(recording.chunks)
+    breakdown = chunk_analysis.termination_breakdown(recording.chunks,
+                                                     group_conflicts=True)
+    print(render_kv({
+        "program": recording.program.name,
+        "rthreads": len(recording.rthreads()),
+        "chunks": stats.count,
+        "mean chunk (instr)": stats.mean,
+        "p90 chunk": stats.p90,
+        "chunk log bytes": recording.chunk_log_bytes(),
+        "compressed bytes": recording.chunk_log_compressed_bytes(),
+        "input events": len(recording.events),
+        "input log bytes": recording.input_log_bytes(),
+    }, title=f"recording at {args.directory}"))
+    print(render_table(("reason", "fraction"),
+                       [(reason, frac) for reason, frac in breakdown.items()],
+                       title="chunk terminations"))
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from .analysis.timeline import render_recording_timeline
+
+    recording = Recording.load(args.directory)
+    print(render_recording_timeline(recording, width=args.width))
+    return 0
+
+
+def _cmd_debug(args: argparse.Namespace) -> int:
+    from .analysis.timeline import interleaving_window
+    from .replay.inspect import ReplayInspector
+
+    recording = Recording.load(args.directory)
+    inspector = ReplayInspector(recording)
+    if args.watch is not None:
+        hit = inspector.watch_word(inspector.resolve(args.watch, args.index))
+        if hit is None:
+            print(f"{args.watch}[{args.index}] never changes; "
+                  f"replayed {inspector.position} chunks")
+            return 0
+        print(f"{args.watch}[{args.index}] changed "
+              f"{hit.old_value} -> {hit.new_value} in chunk "
+              f"#{hit.chunk_index} (t{hit.chunk.rthread}, "
+              f"ts={hit.chunk.timestamp}, {hit.chunk.reason})")
+        print("\nschedule around the change:")
+        print(interleaving_window(recording.chunks, hit.chunk_index))
+    elif args.until_chunk is not None:
+        inspector.run_to_index(args.until_chunk)
+        print(f"stopped at chunk {inspector.position}/"
+              f"{inspector.total_chunks}")
+    else:
+        inspector.run_to_end()
+        print(f"replayed all {inspector.total_chunks} chunks")
+
+    print("\nthread states:")
+    for rthread in inspector.threads():
+        view = inspector.thread_view(rthread)
+        status = "exited" if view.finished else f"pc={view.pc}"
+        print(f"  t{rthread}: {status}, retired={view.retired:,}, "
+              f"chunks={view.completed_chunks}, "
+              f"withheld stores={view.withheld_stores}")
+    if not inspector.finished and inspector.threads():
+        rthread = inspector.next_chunk().rthread
+        print(f"\nnext chunk belongs to t{rthread}; code around its pc:")
+        print(inspector.disassemble_at(rthread))
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .workloads.fuzz import fuzz_many
+
+    report = fuzz_many(args.count, base_seed=args.base_seed)
+    print(f"fuzz: {report.verified}/{report.runs} runs verified")
+    for seed, detail in report.failures:
+        print(f"  seed {seed}: {detail}")
+    return 0 if report.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="quickrec",
+        description="QuickRec reproduction: record and replay multithreaded "
+                    "programs on a simulated multicore IA machine.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads").set_defaults(fn=_cmd_list)
+
+    p_record = sub.add_parser("record", help="record one workload")
+    p_record.add_argument("workload")
+    p_record.add_argument("-o", "--out", default=None,
+                          help="directory to save the recording bundle")
+    _add_workload_args(p_record)
+    p_record.set_defaults(fn=_cmd_record)
+
+    p_replay = sub.add_parser("replay", help="replay a saved recording")
+    p_replay.add_argument("directory")
+    p_replay.set_defaults(fn=_cmd_replay)
+
+    p_round = sub.add_parser("roundtrip",
+                             help="record+replay+verify workloads in memory")
+    p_round.add_argument("workloads", nargs="+")
+    _add_workload_args(p_round)
+    p_round.set_defaults(fn=_cmd_roundtrip)
+
+    p_ovh = sub.add_parser("overhead", help="native/hw/full cycle comparison")
+    p_ovh.add_argument("workloads", nargs="+")
+    _add_workload_args(p_ovh)
+    p_ovh.set_defaults(fn=_cmd_overhead)
+
+    p_info = sub.add_parser("info", help="summarize a saved recording")
+    p_info.add_argument("directory")
+    p_info.set_defaults(fn=_cmd_info)
+
+    p_timeline = sub.add_parser("timeline",
+                                help="per-thread interleaving timeline")
+    p_timeline.add_argument("directory")
+    p_timeline.add_argument("--width", type=int, default=72)
+    p_timeline.set_defaults(fn=_cmd_timeline)
+
+    p_debug = sub.add_parser(
+        "debug", help="step a recording: watch a word or stop at a chunk")
+    p_debug.add_argument("directory")
+    p_debug.add_argument("--watch", default=None,
+                         help="data symbol (or address) to watch for change")
+    p_debug.add_argument("--index", type=int, default=0,
+                         help="word index within the watched symbol")
+    p_debug.add_argument("--until-chunk", type=int, default=None,
+                         help="replay until this chunk index")
+    p_debug.set_defaults(fn=_cmd_debug)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="soak test: random racy programs, record/replay/verify")
+    p_fuzz.add_argument("--count", type=int, default=20)
+    p_fuzz.add_argument("--base-seed", type=int, default=0)
+    p_fuzz.set_defaults(fn=_cmd_fuzz)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Exception hierarchy for the QuickRec reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class AssemblerError(ReproError):
+    """Raised when assembly source cannot be assembled.
+
+    Carries the source line number when available.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class MachineFault(ReproError):
+    """Raised when a core faults (bad memory access, illegal instruction)."""
+
+    def __init__(self, message: str, core_id: int | None = None, pc: int | None = None):
+        self.core_id = core_id
+        self.pc = pc
+        where = ""
+        if core_id is not None:
+            where += f" core={core_id}"
+        if pc is not None:
+            where += f" pc={pc:#x}"
+        super().__init__(message + where)
+
+
+class MemoryAccessError(MachineFault):
+    """Raised on out-of-range or misaligned physical memory access."""
+
+
+class IllegalInstructionError(MachineFault):
+    """Raised when a core decodes an unknown or malformed instruction."""
+
+
+class KernelError(ReproError):
+    """Raised on invalid OS-model operations (bad syscall, dead task, ...)."""
+
+
+class RecordingError(ReproError):
+    """Raised when recording cannot proceed (sphere misuse, CBUF misuse)."""
+
+
+class LogFormatError(ReproError):
+    """Raised when a serialized log cannot be decoded."""
+
+
+class ReplayDivergenceError(ReproError):
+    """Raised when replay observably diverges from the recorded execution.
+
+    Divergence means the logs were insufficient or the replayer is wrong;
+    it always indicates a bug, never a benign condition.
+    """
+
+    def __init__(self, message: str, rthread: int | None = None, icount: int | None = None):
+        self.rthread = rthread
+        self.icount = icount
+        where = ""
+        if rthread is not None:
+            where += f" rthread={rthread}"
+        if icount is not None:
+            where += f" icount={icount}"
+        super().__init__(message + where)
+
+
+class ConfigError(ReproError):
+    """Raised when a configuration value is out of its legal range."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload is misconfigured or unknown."""

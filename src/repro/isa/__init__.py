@@ -1,0 +1,55 @@
+"""The IA-lite instruction set: an x86-flavoured mini-ISA.
+
+The ISA deliberately reproduces the x86 features that made QuickRec's
+recording hardware interesting:
+
+- LOCK-prefixed read-modify-write instructions (``xadd``, ``xchg``,
+  ``cmpxchg``) and ``mfence``, which drain the store buffer;
+- ``rep_movs``/``rep_stos`` string instructions that perform many memory
+  operations per instruction and are interruptible between iterations, so a
+  chunk can terminate *inside* an instruction;
+- nondeterministic reads (``rdtsc``, ``rdrand``, ``cpuid``) whose results the
+  Capo3 stack must log.
+
+Programs are written either in text assembly (:mod:`repro.isa.assembler`)
+or via the :class:`~repro.isa.builder.KernelBuilder` eDSL.
+"""
+
+from .registers import (
+    NUM_REGS,
+    RAX,
+    RCX,
+    RSI,
+    RDI,
+    SP,
+    register_name,
+    register_number,
+)
+from .operands import Imm, Mem, Reg
+from .instructions import Instr, MNEMONICS, is_atomic, is_rep, mem_ops_per_unit
+from .program import Program, DataItem
+from .assembler import assemble
+from .builder import KernelBuilder
+
+__all__ = [
+    "NUM_REGS",
+    "RAX",
+    "RCX",
+    "RSI",
+    "RDI",
+    "SP",
+    "register_name",
+    "register_number",
+    "Imm",
+    "Mem",
+    "Reg",
+    "Instr",
+    "MNEMONICS",
+    "is_atomic",
+    "is_rep",
+    "mem_ops_per_unit",
+    "Program",
+    "DataItem",
+    "assemble",
+    "KernelBuilder",
+]

@@ -1,0 +1,338 @@
+"""Two-pass text assembler for the IA-lite ISA.
+
+Supported syntax::
+
+    ; comment (also #)
+    .data
+    counter:  .word 0
+    table:    .word 1, 2, 3, top        ; symbols allowed in .word
+    buf:      .space 256
+    msg:      .asciz "hello\\n"
+              .align 64
+    .text
+    top:
+        mov   r4, counter               ; bare symbol = its address/index
+        load  r5, [r4]
+        add   r5, r5, 1
+        store [counter + r6*4], r5
+        jne   top
+        syscall
+
+Code labels resolve to instruction indices, data labels to byte addresses.
+The assembler is deliberately strict: unknown mnemonics, malformed operands,
+duplicate or undefined labels are all hard errors with line numbers.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..errors import AssemblerError
+from .instructions import ALIASES, Instr, MNEMONICS
+from .operands import Imm, Mem, Reg, VALID_SCALES
+from .program import DEFAULT_DATA_BASE, Program
+from .registers import is_register_name, register_number
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_.$]*):")
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.$]*$")
+
+
+@dataclass
+class _PendingInstr:
+    mnemonic: str
+    raw_ops: list[str]
+    line: int
+
+
+@dataclass
+class _Assembly:
+    instrs: list[_PendingInstr] = field(default_factory=list)
+    data: bytearray = field(default_factory=bytearray)
+    data_symbols: dict[str, int] = field(default_factory=dict)
+    code_symbols: dict[str, int] = field(default_factory=dict)
+    word_fixups: list[tuple[int, str, int]] = field(default_factory=list)
+
+
+def assemble(source: str, name: str = "program",
+             data_base: int = DEFAULT_DATA_BASE,
+             entry: str | None = None) -> Program:
+    """Assemble ``source`` into a :class:`Program`.
+
+    Args:
+        source: assembly text.
+        name: program name stored in the image.
+        data_base: byte address where the data segment is loaded.
+        entry: entry label; defaults to ``main`` if present, else index 0.
+
+    Raises:
+        AssemblerError: on any syntax or resolution problem.
+    """
+    asm = _parse(source)
+    symbols = {lbl: data_base + off for lbl, off in asm.data_symbols.items()}
+    duplicates = set(symbols) & set(asm.code_symbols)
+    if duplicates:
+        raise AssemblerError(f"labels defined in both segments: {sorted(duplicates)}")
+
+    resolver = _Resolver(symbols, asm.code_symbols)
+    instructions = tuple(resolver.resolve(pending) for pending in asm.instrs)
+
+    data = bytearray(asm.data)
+    for offset, sym, line in asm.word_fixups:
+        value = resolver.lookup(sym, line)
+        data[offset:offset + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+
+    entry_index = 0
+    entry_label = entry if entry is not None else ("main" if "main" in asm.code_symbols else None)
+    if entry_label is not None:
+        if entry_label not in asm.code_symbols:
+            raise AssemblerError(f"entry label {entry_label!r} not defined")
+        entry_index = asm.code_symbols[entry_label]
+
+    return Program(
+        instructions=instructions,
+        data=bytes(data),
+        data_base=data_base,
+        symbols=symbols,
+        code_symbols=dict(asm.code_symbols),
+        entry=entry_index,
+        name=name,
+    )
+
+
+def _parse(source: str) -> _Assembly:
+    asm = _Assembly()
+    section = "text"
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        text = _strip_comment(raw).strip()
+        while True:
+            match = _LABEL_RE.match(text)
+            if not match:
+                break
+            label = match.group(1)
+            _define_label(asm, section, label, line_no)
+            text = text[match.end():].strip()
+        if not text:
+            continue
+        if text.startswith("."):
+            section = _directive(asm, section, text, line_no)
+        else:
+            _instruction(asm, section, text, line_no)
+    return asm
+
+
+def _strip_comment(line: str) -> str:
+    out = []
+    in_string = False
+    for ch in line:
+        if ch == '"':
+            in_string = not in_string
+        if ch in ";#" and not in_string:
+            break
+        out.append(ch)
+    return "".join(out)
+
+
+def _define_label(asm: _Assembly, section: str, label: str, line: int) -> None:
+    table = asm.code_symbols if section == "text" else asm.data_symbols
+    if label in asm.code_symbols or label in asm.data_symbols:
+        raise AssemblerError(f"duplicate label {label!r}", line)
+    table[label] = len(asm.instrs) if section == "text" else len(asm.data)
+
+
+def _directive(asm: _Assembly, section: str, text: str, line: int) -> str:
+    parts = text.split(None, 1)
+    name = parts[0]
+    rest = parts[1] if len(parts) > 1 else ""
+    if name == ".text":
+        return "text"
+    if name == ".data":
+        return "data"
+    if section != "data":
+        raise AssemblerError(f"directive {name} only valid in .data section", line)
+    if name == ".word":
+        for item in _split_args(rest):
+            value = _try_int(item)
+            if value is None:
+                if not _IDENT_RE.match(item):
+                    raise AssemblerError(f"bad .word value {item!r}", line)
+                asm.word_fixups.append((len(asm.data), item, line))
+                asm.data.extend(b"\x00\x00\x00\x00")
+            else:
+                asm.data.extend((value & 0xFFFFFFFF).to_bytes(4, "little"))
+    elif name == ".byte":
+        for item in _split_args(rest):
+            value = _try_int(item)
+            if value is None or not -128 <= value <= 255:
+                raise AssemblerError(f"bad .byte value {item!r}", line)
+            asm.data.append(value & 0xFF)
+    elif name == ".space":
+        args = _split_args(rest)
+        if not 1 <= len(args) <= 2:
+            raise AssemblerError(".space takes 1 or 2 arguments", line)
+        count = _try_int(args[0])
+        fill = _try_int(args[1]) if len(args) == 2 else 0
+        if count is None or count < 0 or fill is None:
+            raise AssemblerError(f"bad .space arguments {rest!r}", line)
+        asm.data.extend(bytes([fill & 0xFF]) * count)
+    elif name == ".asciz":
+        asm.data.extend(_parse_string(rest, line) + b"\x00")
+    elif name == ".ascii":
+        asm.data.extend(_parse_string(rest, line))
+    elif name == ".align":
+        boundary = _try_int(rest.strip())
+        if boundary is None or boundary <= 0 or boundary & (boundary - 1):
+            raise AssemblerError(f"bad .align boundary {rest!r}", line)
+        while len(asm.data) % boundary:
+            asm.data.append(0)
+    else:
+        raise AssemblerError(f"unknown directive {name}", line)
+    return section
+
+
+def _instruction(asm: _Assembly, section: str, text: str, line: int) -> None:
+    if section != "text":
+        raise AssemblerError("instruction outside .text section", line)
+    parts = text.split(None, 1)
+    mnemonic = ALIASES.get(parts[0].lower(), parts[0].lower())
+    if mnemonic not in MNEMONICS:
+        raise AssemblerError(f"unknown mnemonic {parts[0]!r}", line)
+    raw_ops = _split_args(parts[1]) if len(parts) > 1 else []
+    asm.instrs.append(_PendingInstr(mnemonic, raw_ops, line))
+
+
+def _split_args(text: str) -> list[str]:
+    """Split on commas not inside brackets or strings."""
+    args: list[str] = []
+    depth = 0
+    in_string = False
+    current: list[str] = []
+    for ch in text:
+        if ch == '"':
+            in_string = not in_string
+        if ch == "[" and not in_string:
+            depth += 1
+        elif ch == "]" and not in_string:
+            depth -= 1
+        if ch == "," and depth == 0 and not in_string:
+            args.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        args.append(tail)
+    return args
+
+
+def _parse_string(text: str, line: int) -> bytes:
+    text = text.strip()
+    if len(text) < 2 or text[0] != '"' or text[-1] != '"':
+        raise AssemblerError(f"expected quoted string, got {text!r}", line)
+    body = text[1:-1]
+    try:
+        return body.encode("utf-8").decode("unicode_escape").encode("latin-1")
+    except (UnicodeDecodeError, UnicodeEncodeError) as exc:
+        raise AssemblerError(f"bad string literal: {exc}", line) from exc
+
+
+def _try_int(text: str) -> int | None:
+    text = text.strip()
+    try:
+        return int(text, 0)
+    except ValueError:
+        return None
+
+
+class _Resolver:
+    """Pass-2 operand resolution against the symbol tables."""
+
+    def __init__(self, data_symbols: dict[str, int], code_symbols: dict[str, int]):
+        self._data = data_symbols
+        self._code = code_symbols
+
+    def lookup(self, name: str, line: int) -> int:
+        if name in self._data:
+            return self._data[name]
+        if name in self._code:
+            return self._code[name]
+        raise AssemblerError(f"undefined symbol {name!r}", line)
+
+    def resolve(self, pending: _PendingInstr) -> Instr:
+        spec = MNEMONICS[pending.mnemonic]
+        if len(pending.raw_ops) != spec.arity:
+            raise AssemblerError(
+                f"{pending.mnemonic} takes {spec.arity} operand(s), "
+                f"got {len(pending.raw_ops)}", pending.line)
+        ops = tuple(self._operand(code, raw, pending.line)
+                    for code, raw in zip(spec.signature, pending.raw_ops))
+        try:
+            return Instr(pending.mnemonic, ops, source_line=pending.line)
+        except ValueError as exc:
+            raise AssemblerError(str(exc), pending.line) from exc
+
+    def _operand(self, code: str, raw: str, line: int):
+        raw = raw.strip()
+        if code == "r":
+            if not is_register_name(raw):
+                raise AssemblerError(f"expected register, got {raw!r}", line)
+            return Reg(register_number(raw))
+        if code == "v":
+            if is_register_name(raw):
+                return Reg(register_number(raw))
+            return Imm(self._value(raw, line))
+        if code == "t":
+            return Imm(self._value(raw, line))
+        if code == "m":
+            return self._memory(raw, line)
+        raise AssemblerError(f"internal: bad signature code {code!r}", line)
+
+    def _value(self, raw: str, line: int) -> int:
+        number = _try_int(raw)
+        if number is not None:
+            return number
+        if _IDENT_RE.match(raw):
+            return self.lookup(raw, line)
+        raise AssemblerError(f"expected value, got {raw!r}", line)
+
+    def _memory(self, raw: str, line: int) -> Mem:
+        if not (raw.startswith("[") and raw.endswith("]")):
+            raise AssemblerError(f"expected memory operand, got {raw!r}", line)
+        body = raw[1:-1].replace(" ", "").replace("-", "+-")
+        terms = [t.strip() for t in body.split("+") if t.strip()]
+        if not terms:
+            raise AssemblerError("empty memory operand", line)
+        base: int | None = None
+        index: int | None = None
+        scale = 1
+        disp = 0
+        symbol: str | None = None
+        for term in terms:
+            if "*" in term:
+                reg_text, scale_text = (part.strip() for part in term.split("*", 1))
+                if not is_register_name(reg_text):
+                    raise AssemblerError(f"bad index register {reg_text!r}", line)
+                if index is not None:
+                    raise AssemblerError("two index registers in memory operand", line)
+                parsed_scale = _try_int(scale_text)
+                if parsed_scale not in VALID_SCALES:
+                    raise AssemblerError(f"bad scale {scale_text!r}", line)
+                index = register_number(reg_text)
+                scale = parsed_scale
+            elif is_register_name(term):
+                if base is None:
+                    base = register_number(term)
+                elif index is None:
+                    index = register_number(term)
+                else:
+                    raise AssemblerError("too many registers in memory operand", line)
+            else:
+                number = _try_int(term)
+                if number is not None:
+                    disp += number
+                elif _IDENT_RE.match(term):
+                    disp += self.lookup(term, line)
+                    symbol = term
+                else:
+                    raise AssemblerError(f"bad memory term {term!r}", line)
+        return Mem(base=base, index=index, scale=scale, disp=disp, symbol=symbol)

@@ -1,0 +1,268 @@
+"""A macro-assembler eDSL for writing workloads in Python.
+
+:class:`KernelBuilder` accumulates assembly source, providing structured
+control flow, unique-label generation, and the synchronization macros the
+SPLASH-style workloads need (test-and-test-and-set spinlocks, a
+sense-reversing barrier, thread spawn). It emits plain text assembly and
+delegates to :func:`repro.isa.assembler.assemble`, so anything the builder
+produces can also be inspected, dumped, and reassembled by hand.
+
+Example::
+
+    b = KernelBuilder()
+    b.word("counter", 0)
+    b.label("main")
+    with b.for_range("r4", 0, 100):
+        b.ins("xadd", b.at("counter"), "r5")
+    b.exit(0)
+    program = b.build("example")
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from .assembler import assemble
+from .program import DEFAULT_DATA_BASE, Program
+
+# Syscall numbers mirrored from repro.kernel.syscalls (kept literal here so
+# the ISA layer does not depend on the kernel package).
+SYS_EXIT = 1
+SYS_WRITE = 2
+SYS_READ = 3
+SYS_SPAWN = 4
+SYS_GETTID = 5
+SYS_YIELD = 6
+SYS_FUTEX_WAIT = 7
+SYS_FUTEX_WAKE = 8
+SYS_TIME = 9
+SYS_OPEN = 10
+SYS_CLOSE = 11
+SYS_KILL = 12
+SYS_SIGACTION = 13
+SYS_SIGRETURN = 14
+SYS_RANDOM = 15
+SYS_NANOSLEEP = 16
+
+
+class KernelBuilder:
+    """Accumulates assembly text with macros and structured control flow."""
+
+    def __init__(self, data_base: int = DEFAULT_DATA_BASE):
+        self._data_lines: list[str] = []
+        self._text_lines: list[str] = []
+        self._data_base = data_base
+        self._label_counter = 0
+
+    # -- raw emission ------------------------------------------------------
+
+    def ins(self, mnemonic: str, *operands: object) -> None:
+        """Emit one instruction; operands may be ints, strings, or labels."""
+        rendered = ", ".join(str(op) for op in operands)
+        self._text_lines.append(f"    {mnemonic} {rendered}".rstrip())
+
+    def raw(self, line: str) -> None:
+        """Emit a raw line of assembly text verbatim."""
+        self._text_lines.append(line)
+
+    def comment(self, text: str) -> None:
+        self._text_lines.append(f"    ; {text}")
+
+    def label(self, name: str) -> str:
+        self._text_lines.append(f"{name}:")
+        return name
+
+    def fresh(self, hint: str = "L") -> str:
+        """Return a new unique label name (not yet placed)."""
+        self._label_counter += 1
+        return f"{hint}_{self._label_counter}"
+
+    # -- data segment --------------------------------------------------------
+
+    def word(self, name: str, *values: object) -> str:
+        rendered = ", ".join(str(v) for v in values) if values else "0"
+        self._data_lines.append("    .align 4")
+        self._data_lines.append(f"{name}: .word {rendered}")
+        return name
+
+    def space(self, name: str, size_bytes: int, fill: int = 0) -> str:
+        self._data_lines.append("    .align 4")
+        self._data_lines.append(f"{name}: .space {size_bytes}, {fill}")
+        return name
+
+    def words(self, name: str, values: Sequence[int]) -> str:
+        """A named array of 32-bit words (chunked to keep lines short)."""
+        self._data_lines.append("    .align 4")
+        self._data_lines.append(f"{name}:")
+        for start in range(0, len(values), 16):
+            chunk = ", ".join(str(v) for v in values[start:start + 16])
+            self._data_lines.append(f"    .word {chunk}")
+        if not values:
+            self._data_lines.append("    .word 0")
+        return name
+
+    def asciz(self, name: str, text: str) -> str:
+        escaped = text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        self._data_lines.append(f'{name}: .asciz "{escaped}"')
+        return name
+
+    def align(self, boundary: int = 64) -> None:
+        self._data_lines.append(f"    .align {boundary}")
+
+    @staticmethod
+    def at(symbol: str, index: str | None = None, scale: int = 4, disp: int = 0) -> str:
+        """Render a memory operand for a data symbol: ``[sym + idx*scale + d]``."""
+        parts = [symbol]
+        if index is not None:
+            parts.append(f"{index}*{scale}" if scale != 1 else index)
+        if disp:
+            parts.append(str(disp))
+        return "[" + " + ".join(parts) + "]"
+
+    # -- structured control flow ---------------------------------------------
+
+    @contextmanager
+    def for_range(self, reg: str, start: object, stop: object,
+                  step: int = 1) -> Iterator[None]:
+        """``for reg in range(start, stop, step)`` — signed comparison.
+
+        ``stop`` may be a register or an immediate/symbol.
+        """
+        head = self.fresh("for")
+        end = self.fresh("endfor")
+        self.ins("mov", reg, start)
+        self.label(head)
+        self.ins("cmp", reg, stop)
+        self.ins("jge" if step > 0 else "jle", end)
+        yield
+        self.ins("add", reg, reg, step)
+        self.ins("jmp", head)
+        self.label(end)
+
+    @contextmanager
+    def while_nonzero(self, reg: str) -> Iterator[None]:
+        """Loop while ``reg`` != 0 (tested at the top)."""
+        head = self.fresh("while")
+        end = self.fresh("endwhile")
+        self.label(head)
+        self.ins("test", reg, reg)
+        self.ins("je", end)
+        yield
+        self.ins("jmp", head)
+        self.label(end)
+
+    @contextmanager
+    def if_equal(self, a: str, b: object) -> Iterator[None]:
+        """Execute the body only when ``a == b``."""
+        skip = self.fresh("endif")
+        self.ins("cmp", a, b)
+        self.ins("jne", skip)
+        yield
+        self.label(skip)
+
+    @contextmanager
+    def if_not_equal(self, a: str, b: object) -> Iterator[None]:
+        skip = self.fresh("endif")
+        self.ins("cmp", a, b)
+        self.ins("je", skip)
+        yield
+        self.label(skip)
+
+    # -- synchronization macros ------------------------------------------------
+
+    def spin_lock(self, lock_symbol: str, scratch: str = "r12") -> None:
+        """Test-and-test-and-set acquire with ``pause`` in the spin loop."""
+        acquire = self.fresh("lock_try")
+        spin = self.fresh("lock_spin")
+        got = self.fresh("lock_got")
+        self.label(acquire)
+        self.ins("mov", scratch, 1)
+        self.ins("xchg", f"[{lock_symbol}]", scratch)
+        self.ins("test", scratch, scratch)
+        self.ins("je", got)
+        self.label(spin)
+        self.ins("pause")
+        self.ins("load", scratch, f"[{lock_symbol}]")
+        self.ins("test", scratch, scratch)
+        self.ins("jne", spin)
+        self.ins("jmp", acquire)
+        self.label(got)
+
+    def spin_unlock(self, lock_symbol: str) -> None:
+        """Release: a plain store suffices under TSO."""
+        self.ins("store", f"[{lock_symbol}]", 0)
+
+    def barrier(self, barrier_symbol: str, nthreads: int,
+                scratch: tuple[str, str] = ("r12", "r13")) -> None:
+        """Sense-reversing centralized barrier.
+
+        The barrier variable is two words: ``[sym]`` the arrival counter and
+        ``[sym+4]`` the generation number. Declare it with
+        ``builder.word(sym, 0, 0)``.
+        """
+        s0, s1 = scratch
+        done = self.fresh("bar_done")
+        spin = self.fresh("bar_spin")
+        self.ins("load", s1, f"[{barrier_symbol} + 4]")
+        self.ins("mov", s0, 1)
+        self.ins("xadd", f"[{barrier_symbol}]", s0)
+        self.ins("cmp", s0, nthreads - 1)
+        with self.if_equal(s0, nthreads - 1):
+            self.ins("store", f"[{barrier_symbol}]", 0)
+            self.ins("add", s1, s1, 1)
+            self.ins("store", f"[{barrier_symbol} + 4]", s1)
+            self.ins("jmp", done)
+        self.label(spin)
+        self.ins("pause")
+        self.ins("load", s0, f"[{barrier_symbol} + 4]")
+        self.ins("cmp", s0, s1)
+        self.ins("je", spin)
+        self.label(done)
+
+    # -- syscall helpers --------------------------------------------------------
+
+    def syscall(self, number: int, *args: object) -> None:
+        """Load the syscall number and up to 4 arguments, then trap.
+
+        Clobbers rax and r1..r4. The return value lands in rax.
+        """
+        if len(args) > 4:
+            raise ValueError("at most 4 syscall arguments")
+        for position, arg in enumerate(args, start=1):
+            self.ins("mov", f"r{position}", arg)
+        self.ins("mov", "rax", number)
+        self.ins("syscall")
+
+    def exit(self, code: object = 0) -> None:
+        self.syscall(SYS_EXIT, code)
+
+    def write(self, fd: object, buf_symbol: str, length: object) -> None:
+        self.syscall(SYS_WRITE, fd, buf_symbol, length)
+
+    def spawn(self, entry_label: str, stack_top_expr: object, arg: object) -> None:
+        """Create a thread at ``entry_label`` with the given stack top and arg.
+
+        The child starts with ``sp`` = stack top, ``rdi`` = arg, everything
+        else zero. The child's tid is returned in rax.
+        """
+        self.syscall(SYS_SPAWN, entry_label, stack_top_expr, arg)
+
+    def futex_wait(self, addr_symbol: str, expected: object) -> None:
+        self.syscall(SYS_FUTEX_WAIT, addr_symbol, expected)
+
+    def futex_wake(self, addr_symbol: str, count: object) -> None:
+        self.syscall(SYS_FUTEX_WAKE, addr_symbol, count)
+
+    # -- assembly ----------------------------------------------------------------
+
+    def source(self) -> str:
+        lines = [".data"]
+        lines.extend(self._data_lines)
+        lines.append(".text")
+        lines.extend(self._text_lines)
+        return "\n".join(lines) + "\n"
+
+    def build(self, name: str = "program", entry: str | None = None) -> Program:
+        return assemble(self.source(), name=name,
+                        data_base=self._data_base, entry=entry)

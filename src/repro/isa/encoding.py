@@ -1,0 +1,233 @@
+"""Compact binary encoding of instructions and whole program images.
+
+The JSON form (:meth:`Program.to_dict`) is the human-auditable format the
+recording bundle uses; this module provides the dense alternative — a few
+bytes per instruction — for embedding programs where size matters and for
+tooling that wants a stable wire format.
+
+Instruction layout::
+
+    opcode        u8   (index into the sorted mnemonic table)
+    per operand, by signature code:
+      r           u8 register number
+      v           u8 tag (0 = register, 1 = immediate) + payload
+      t           varint immediate (instruction index)
+      m           u8 flags (bit0 base, bit1 index, bits2-3 log2 scale)
+                  + optional base u8 + optional index u8 + varint disp
+
+Program layout::
+
+    magic "QRPX"  version u8
+    entry varint, data_base varint
+    code:   varint count, then encoded instructions
+    data:   varint length, raw bytes
+    symbol tables (data, code): varint count, then
+            (varint name length, name utf-8, varint value)
+    name:   varint length, utf-8
+
+Symbol display hints on memory operands (``Mem.symbol``) are not carried —
+they are disassembly sugar; addresses are already folded into
+displacements.
+"""
+
+from __future__ import annotations
+
+from ..errors import LogFormatError
+from .instructions import Instr, MNEMONICS
+from .operands import Imm, Mem, Reg
+from .program import Program
+
+MAGIC = b"QRPX"
+VERSION = 1
+
+_OPCODE_TABLE = tuple(sorted(MNEMONICS))
+_OPCODES = {mnemonic: code for code, mnemonic in enumerate(_OPCODE_TABLE)}
+
+_TAG_REG = 0
+_TAG_IMM = 1
+
+_SCALE_CODES = {1: 0, 2: 1, 4: 2, 8: 3}
+_SCALES = {code: scale for scale, code in _SCALE_CODES.items()}
+
+
+def _varint(value: int) -> bytes:
+    if value < 0:
+        raise LogFormatError("varint requires non-negative value")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def _read_varint(blob: bytes, offset: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(blob):
+            raise LogFormatError("truncated varint in program encoding")
+        byte = blob[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+
+
+# -- instructions -------------------------------------------------------------
+
+def encode_instr(instr: Instr) -> bytes:
+    out = bytearray([_OPCODES[instr.mnemonic]])
+    for code, op in zip(instr.spec.signature, instr.ops):
+        if code == "r":
+            out.append(op.number)
+        elif code == "v":
+            if isinstance(op, Reg):
+                out.append(_TAG_REG)
+                out.append(op.number)
+            else:
+                out.append(_TAG_IMM)
+                out += _varint(op.value)
+        elif code == "t":
+            out += _varint(op.value)
+        elif code == "m":
+            flags = 0
+            if op.base is not None:
+                flags |= 1
+            if op.index is not None:
+                flags |= 2
+            flags |= _SCALE_CODES[op.scale] << 2
+            out.append(flags)
+            if op.base is not None:
+                out.append(op.base)
+            if op.index is not None:
+                out.append(op.index)
+            out += _varint(op.disp)
+    return bytes(out)
+
+
+def decode_instr(blob: bytes, offset: int = 0) -> tuple[Instr, int]:
+    if offset >= len(blob):
+        raise LogFormatError("truncated instruction encoding")
+    opcode = blob[offset]
+    offset += 1
+    if opcode >= len(_OPCODE_TABLE):
+        raise LogFormatError(f"unknown opcode {opcode}")
+    mnemonic = _OPCODE_TABLE[opcode]
+    spec = MNEMONICS[mnemonic]
+    ops = []
+    for code in spec.signature:
+        if code == "r":
+            ops.append(Reg(blob[offset]))
+            offset += 1
+        elif code == "v":
+            tag = blob[offset]
+            offset += 1
+            if tag == _TAG_REG:
+                ops.append(Reg(blob[offset]))
+                offset += 1
+            elif tag == _TAG_IMM:
+                value, offset = _read_varint(blob, offset)
+                ops.append(Imm(value))
+            else:
+                raise LogFormatError(f"bad value-operand tag {tag}")
+        elif code == "t":
+            value, offset = _read_varint(blob, offset)
+            ops.append(Imm(value))
+        elif code == "m":
+            flags = blob[offset]
+            offset += 1
+            base = index = None
+            if flags & 1:
+                base = blob[offset]
+                offset += 1
+            if flags & 2:
+                index = blob[offset]
+                offset += 1
+            scale = _SCALES[(flags >> 2) & 3]
+            disp, offset = _read_varint(blob, offset)
+            ops.append(Mem(base=base, index=index, scale=scale, disp=disp))
+    try:
+        return Instr(mnemonic, tuple(ops)), offset
+    except ValueError as exc:
+        raise LogFormatError(f"malformed encoded instruction: {exc}") from exc
+
+
+# -- programs -------------------------------------------------------------------
+
+def _encode_symbols(symbols: dict[str, int]) -> bytes:
+    out = bytearray(_varint(len(symbols)))
+    for name in sorted(symbols):
+        raw = name.encode("utf-8")
+        out += _varint(len(raw))
+        out += raw
+        out += _varint(symbols[name])
+    return bytes(out)
+
+
+def _decode_symbols(blob: bytes, offset: int) -> tuple[dict[str, int], int]:
+    count, offset = _read_varint(blob, offset)
+    symbols: dict[str, int] = {}
+    for _ in range(count):
+        length, offset = _read_varint(blob, offset)
+        if offset + length > len(blob):
+            raise LogFormatError("truncated symbol name")
+        name = blob[offset:offset + length].decode("utf-8")
+        offset += length
+        value, offset = _read_varint(blob, offset)
+        symbols[name] = value
+    return symbols, offset
+
+
+def encode_program(program: Program) -> bytes:
+    out = bytearray(MAGIC)
+    out.append(VERSION)
+    out += _varint(program.entry)
+    out += _varint(program.data_base)
+    out += _varint(len(program.instructions))
+    for instr in program.instructions:
+        out += encode_instr(instr)
+    out += _varint(len(program.data))
+    out += program.data
+    out += _encode_symbols(program.symbols)
+    out += _encode_symbols(program.code_symbols)
+    raw_name = program.name.encode("utf-8")
+    out += _varint(len(raw_name))
+    out += raw_name
+    return bytes(out)
+
+
+def decode_program(blob: bytes) -> Program:
+    if blob[:4] != MAGIC:
+        raise LogFormatError("bad program encoding magic")
+    if len(blob) < 5 or blob[4] != VERSION:
+        raise LogFormatError("unsupported program encoding version")
+    offset = 5
+    entry, offset = _read_varint(blob, offset)
+    data_base, offset = _read_varint(blob, offset)
+    count, offset = _read_varint(blob, offset)
+    instructions = []
+    for _ in range(count):
+        instr, offset = decode_instr(blob, offset)
+        instructions.append(instr)
+    data_len, offset = _read_varint(blob, offset)
+    if offset + data_len > len(blob):
+        raise LogFormatError("truncated data segment")
+    data = blob[offset:offset + data_len]
+    offset += data_len
+    symbols, offset = _decode_symbols(blob, offset)
+    code_symbols, offset = _decode_symbols(blob, offset)
+    name_len, offset = _read_varint(blob, offset)
+    if offset + name_len > len(blob):
+        raise LogFormatError("truncated program name")
+    name = blob[offset:offset + name_len].decode("utf-8")
+    offset += name_len
+    if offset != len(blob):
+        raise LogFormatError("trailing bytes in program encoding")
+    return Program(instructions=tuple(instructions), data=data,
+                   data_base=data_base, symbols=symbols,
+                   code_symbols=code_symbols, entry=entry, name=name)

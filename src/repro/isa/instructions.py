@@ -1,0 +1,187 @@
+"""Instruction definitions and static metadata.
+
+Execution semantics live in :mod:`repro.machine.core`; this module defines
+what an instruction *is* — its mnemonic, operand shape, and the static
+properties the assembler, recorder and analysis passes need:
+
+- which instructions are LOCK-prefixed atomics (they drain the store buffer
+  and perform a bus-locked read-modify-write);
+- which are ``rep``-style string instructions (multiple memory operations,
+  interruptible between iterations);
+- which produce nondeterministic values the software stack must log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .operands import Imm, Mem, Operand, Reg
+
+# Operand-signature codes:
+#   r  register
+#   v  register or immediate (a "value" operand; labels fold to immediates)
+#   m  memory reference
+#   t  branch/call target (immediate instruction index after assembly)
+_SIG_CODES = frozenset("rvmt")
+
+
+@dataclass(frozen=True)
+class InstrSpec:
+    """Static description of one mnemonic."""
+
+    mnemonic: str
+    signature: str
+    is_branch: bool = False
+    is_cond_branch: bool = False
+    is_atomic: bool = False
+    is_rep: bool = False
+    is_nondet: bool = False
+    is_fence: bool = False
+    reads_mem: bool = False
+    writes_mem: bool = False
+    is_syscall: bool = False
+
+    def __post_init__(self) -> None:
+        for code in self.signature:
+            if code not in _SIG_CODES:
+                raise ValueError(f"bad signature code {code!r} in {self.mnemonic}")
+
+    @property
+    def arity(self) -> int:
+        return len(self.signature)
+
+
+def _spec(mnemonic: str, signature: str, **flags) -> InstrSpec:
+    return InstrSpec(mnemonic, signature, **flags)
+
+
+_ALU3 = ("add", "sub", "and", "or", "xor", "shl", "shr", "sar",
+         "mul", "div", "mod")
+_COND_BRANCHES = ("je", "jne", "jl", "jle", "jg", "jge",
+                  "jb", "jbe", "ja", "jae", "js", "jns")
+
+MNEMONICS: dict[str, InstrSpec] = {}
+
+
+def _register(spec: InstrSpec) -> None:
+    MNEMONICS[spec.mnemonic] = spec
+
+
+_register(_spec("mov", "rv"))
+_register(_spec("lea", "rm"))
+_register(_spec("load", "rm", reads_mem=True))
+_register(_spec("loadb", "rm", reads_mem=True))
+_register(_spec("store", "mv", writes_mem=True))
+_register(_spec("storeb", "mv", writes_mem=True))
+_register(_spec("push", "v", writes_mem=True))
+_register(_spec("pop", "r", reads_mem=True))
+
+for _name in _ALU3:
+    _register(_spec(_name, "rrv"))
+_register(_spec("neg", "rr"))
+_register(_spec("not", "rr"))
+_register(_spec("cmp", "rv"))
+_register(_spec("test", "rv"))
+
+_register(_spec("jmp", "t", is_branch=True))
+for _name in _COND_BRANCHES:
+    _register(_spec(_name, "t", is_branch=True, is_cond_branch=True))
+_register(_spec("call", "t", is_branch=True, writes_mem=True))
+_register(_spec("ret", "", is_branch=True, reads_mem=True))
+
+_register(_spec("xadd", "mr", is_atomic=True, is_fence=True,
+                reads_mem=True, writes_mem=True))
+_register(_spec("xchg", "mr", is_atomic=True, is_fence=True,
+                reads_mem=True, writes_mem=True))
+_register(_spec("cmpxchg", "mr", is_atomic=True, is_fence=True,
+                reads_mem=True, writes_mem=True))
+_register(_spec("mfence", "", is_fence=True))
+_register(_spec("pause", ""))
+_register(_spec("nop", ""))
+
+_register(_spec("rep_movs", "", is_rep=True, reads_mem=True, writes_mem=True))
+_register(_spec("rep_stos", "", is_rep=True, writes_mem=True))
+
+_register(_spec("rdtsc", "r", is_nondet=True))
+_register(_spec("rdrand", "r", is_nondet=True))
+_register(_spec("cpuid", "r", is_nondet=True))
+
+_register(_spec("syscall", "", is_syscall=True, is_fence=True))
+
+# Assembler-level aliases (normalized before an Instr is built).
+ALIASES = {"jz": "je", "jnz": "jne"}
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One assembled instruction.
+
+    ``ops`` holds fully resolved operands (labels already folded into
+    immediates / displacements). ``source_line`` points back into the
+    assembly source for diagnostics.
+    """
+
+    mnemonic: str
+    ops: tuple[Operand, ...] = ()
+    source_line: int | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        spec = MNEMONICS.get(self.mnemonic)
+        if spec is None:
+            raise ValueError(f"unknown mnemonic {self.mnemonic!r}")
+        if len(self.ops) != spec.arity:
+            raise ValueError(
+                f"{self.mnemonic} takes {spec.arity} operand(s), got {len(self.ops)}")
+        for code, op in zip(spec.signature, self.ops):
+            _check_operand(self.mnemonic, code, op)
+
+    @property
+    def spec(self) -> InstrSpec:
+        return MNEMONICS[self.mnemonic]
+
+    def __str__(self) -> str:
+        if not self.ops:
+            return self.mnemonic
+        return f"{self.mnemonic} " + ", ".join(str(op) for op in self.ops)
+
+
+def _check_operand(mnemonic: str, code: str, op: Operand) -> None:
+    ok = {
+        "r": isinstance(op, Reg),
+        "v": isinstance(op, (Reg, Imm)),
+        "m": isinstance(op, Mem),
+        "t": isinstance(op, Imm),
+    }[code]
+    if not ok:
+        raise ValueError(f"{mnemonic}: operand {op!r} does not match code {code!r}")
+
+
+def is_atomic(instr: Instr) -> bool:
+    """True for LOCK-prefixed read-modify-write instructions."""
+    return instr.spec.is_atomic
+
+
+def is_rep(instr: Instr) -> bool:
+    """True for string instructions that run one iteration per step."""
+    return instr.spec.is_rep
+
+
+def mem_ops_per_unit(instr: Instr) -> int:
+    """Memory operations performed by one execution *unit* of ``instr``.
+
+    A unit is a whole instruction, except for ``rep_*`` instructions where a
+    unit is a single iteration (``rep_movs`` = one load + one store).
+    Used by the recorder to maintain the sub-instruction memory-operation
+    count that QuickRec logs when a chunk terminates mid-instruction.
+    """
+    if instr.mnemonic == "rep_movs":
+        return 2
+    if instr.mnemonic == "rep_stos":
+        return 1
+    spec = instr.spec
+    count = 0
+    if spec.reads_mem:
+        count += 1
+    if spec.writes_mem:
+        count += 1
+    return count

@@ -1,0 +1,91 @@
+"""Instruction operands: registers, immediates, and memory references.
+
+A memory operand follows the x86 addressing form
+
+    [base + index * scale + displacement]
+
+where ``base`` and ``index`` are optional registers, ``scale`` is 1, 2, 4 or
+8, and ``displacement`` is a 32-bit constant. The assembler resolves symbol
+references into the displacement before the program runs, so at execution
+time an operand is fully numeric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .registers import register_name
+
+MASK32 = 0xFFFFFFFF
+VALID_SCALES = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A general-purpose register operand."""
+
+    number: int
+
+    def __str__(self) -> str:
+        return register_name(self.number)
+
+
+@dataclass(frozen=True)
+class Imm:
+    """A 32-bit immediate operand (stored as an unsigned value)."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "value", self.value & MASK32)
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A memory operand ``[base + index*scale + disp]``.
+
+    ``base`` and ``index`` are register numbers or ``None``. ``symbol`` is
+    kept only for disassembly readability once the assembler has folded the
+    symbol's address into ``disp``.
+    """
+
+    base: int | None = None
+    index: int | None = None
+    scale: int = 1
+    disp: int = 0
+    symbol: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.scale not in VALID_SCALES:
+            raise ValueError(f"invalid scale {self.scale}; must be one of {VALID_SCALES}")
+        object.__setattr__(self, "disp", self.disp & MASK32)
+
+    def effective_address(self, regs) -> int:
+        """Compute the effective address given a register file (indexable)."""
+        addr = self.disp
+        if self.base is not None:
+            addr += regs[self.base]
+        if self.index is not None:
+            addr += regs[self.index] * self.scale
+        return addr & MASK32
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        if self.base is not None:
+            parts.append(register_name(self.base))
+        if self.index is not None:
+            term = register_name(self.index)
+            if self.scale != 1:
+                term += f"*{self.scale}"
+            parts.append(term)
+        if self.symbol is not None:
+            parts.append(self.symbol)
+        elif self.disp or not parts:
+            parts.append(str(self.disp))
+        return "[" + " + ".join(parts) + "]"
+
+
+Operand = Reg | Imm | Mem

@@ -1,0 +1,68 @@
+"""Architectural registers of the IA-lite machine.
+
+Sixteen 32-bit general-purpose registers, ``r0`` .. ``r15``. A handful carry
+x86-style aliases because instructions give them implicit roles:
+
+========  =====  =========================================================
+alias     reg    implicit role
+========  =====  =========================================================
+``rax``   r0     accumulator: ``cmpxchg`` comparand, ``rep_stos`` fill
+                 value, syscall number and syscall return value
+``rcx``   r1     ``rep_*`` iteration count; first syscall argument
+``rsi``   r2     ``rep_movs`` source pointer; second syscall argument
+``rdi``   r3     ``rep_movs``/``rep_stos`` destination; third syscall arg
+``sp``    r15    stack pointer (``push``/``pop``/``call``/``ret``)
+========  =====  =========================================================
+"""
+
+from __future__ import annotations
+
+NUM_REGS = 16
+
+RAX = 0
+RCX = 1
+RSI = 2
+RDI = 3
+SP = 15
+
+_ALIASES = {
+    "rax": RAX,
+    "rcx": RCX,
+    "rsi": RSI,
+    "rdi": RDI,
+    "sp": SP,
+}
+
+_ALIAS_BY_NUMBER = {number: alias for alias, number in _ALIASES.items()}
+
+
+def register_number(name: str) -> int:
+    """Parse a register name (``r7``, ``rax``, ``sp``) to its number.
+
+    Raises:
+        ValueError: if the name is not a register.
+    """
+    name = name.lower()
+    if name in _ALIASES:
+        return _ALIASES[name]
+    if name.startswith("r") and name[1:].isdigit():
+        number = int(name[1:])
+        if 0 <= number < NUM_REGS:
+            return number
+    raise ValueError(f"not a register: {name!r}")
+
+
+def register_name(number: int) -> str:
+    """Render a register number with its alias when it has one."""
+    if not 0 <= number < NUM_REGS:
+        raise ValueError(f"register number out of range: {number}")
+    return _ALIAS_BY_NUMBER.get(number, f"r{number}")
+
+
+def is_register_name(name: str) -> bool:
+    """True if ``name`` parses as a register."""
+    try:
+        register_number(name)
+    except ValueError:
+        return False
+    return True

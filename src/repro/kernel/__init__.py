@@ -1,0 +1,34 @@
+"""The miniature OS model — the substrate Capo3 manages.
+
+A single-process, multi-threaded OS: preemptive round-robin scheduling with
+a configurable quantum, a syscall table (I/O, thread spawn, futexes, time,
+randomness, signals), a tiny in-memory VFS, and POSIX-flavoured signal
+delivery. The kernel itself is a Python model — kernel execution is
+instantaneous in instruction counts but charged in cycles — because the
+paper's recorded sphere is *user-space only*: the kernel's job there, as
+here, is to be the source of the inputs Capo3 must log (syscall results,
+copied-in data, signal timing) and of the context switches the MRR must be
+virtualized across.
+"""
+
+from .tasks import Task, STATE_BLOCKED, STATE_EXITED, STATE_RUNNABLE, STATE_RUNNING
+from .vfs import VFS
+from .futex import FutexTable
+from .scheduler import Scheduler
+from .syscalls import SYSCALL_NAMES, SYSCALL_NUMBERS
+from .kernel import Kernel, KernelStats
+
+__all__ = [
+    "Task",
+    "STATE_BLOCKED",
+    "STATE_EXITED",
+    "STATE_RUNNABLE",
+    "STATE_RUNNING",
+    "VFS",
+    "FutexTable",
+    "Scheduler",
+    "SYSCALL_NAMES",
+    "SYSCALL_NUMBERS",
+    "Kernel",
+    "KernelStats",
+]

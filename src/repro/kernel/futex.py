@@ -1,0 +1,43 @@
+"""Futex wait queues: address-keyed parking of blocked tasks."""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class FutexTable:
+    """Waiters per user address, woken FIFO."""
+
+    def __init__(self):
+        self._waiters: dict[int, deque[int]] = {}
+
+    def add_waiter(self, addr: int, tid: int) -> None:
+        self._waiters.setdefault(addr, deque()).append(tid)
+
+    def wake(self, addr: int, count: int) -> list[int]:
+        """Dequeue up to ``count`` waiters of ``addr`` (FIFO)."""
+        queue = self._waiters.get(addr)
+        if not queue:
+            return []
+        woken = []
+        while queue and len(woken) < count:
+            woken.append(queue.popleft())
+        if not queue:
+            del self._waiters[addr]
+        return woken
+
+    def remove(self, tid: int) -> None:
+        """Drop a task from every queue (e.g. on kill/exit)."""
+        empty = []
+        for addr, queue in self._waiters.items():
+            try:
+                queue.remove(tid)
+            except ValueError:
+                pass
+            if not queue:
+                empty.append(addr)
+        for addr in empty:
+            del self._waiters[addr]
+
+    def waiter_count(self) -> int:
+        return sum(len(queue) for queue in self._waiters.values())

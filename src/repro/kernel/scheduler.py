@@ -1,0 +1,44 @@
+"""Run queue and sleep queue."""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+
+class Scheduler:
+    """FIFO run queue plus a min-heap of sleeping tasks."""
+
+    def __init__(self):
+        self._queue: deque[int] = deque()
+        self._sleepers: list[tuple[int, int]] = []
+
+    def enqueue(self, tid: int) -> None:
+        self._queue.append(tid)
+
+    def pop_next(self) -> int | None:
+        if self._queue:
+            return self._queue.popleft()
+        return None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    # -- sleepers -----------------------------------------------------------
+
+    def add_sleeper(self, wake_step: int, tid: int) -> None:
+        heapq.heappush(self._sleepers, (wake_step, tid))
+
+    def due_sleepers(self, now: int) -> list[int]:
+        due = []
+        while self._sleepers and self._sleepers[0][0] <= now:
+            due.append(heapq.heappop(self._sleepers)[1])
+        return due
+
+    @property
+    def sleeping(self) -> int:
+        return len(self._sleepers)
+
+    @property
+    def next_wake(self) -> int | None:
+        return self._sleepers[0][0] if self._sleepers else None

@@ -1,0 +1,15 @@
+"""Signal numbers.
+
+Delivery itself lives in :class:`repro.kernel.kernel.Kernel`: a pending
+signal is delivered at the next safe point (kernel exit or dispatch — both
+chunk boundaries), the full register context is saved kernel-side, the
+handler runs with ``r1`` = signal number, and ``sigreturn`` restores the
+saved context. The Capo3 input log records each delivery with its
+chunk-sequence position so the replayer re-delivers at the same boundary.
+"""
+
+SIGUSR1 = 10
+SIGUSR2 = 12
+SIGALRM = 14
+
+ALL_SIGNALS = (SIGUSR1, SIGUSR2, SIGALRM)

@@ -1,0 +1,56 @@
+"""Task (thread) structures."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..machine.core import EngineContext
+
+STATE_RUNNABLE = "runnable"
+STATE_RUNNING = "running"
+STATE_BLOCKED = "blocked"
+STATE_EXITED = "exited"
+
+
+@dataclass
+class Task:
+    """One user thread.
+
+    ``rthread`` is the replay-sphere thread id; we allocate tids
+    deterministically so ``rthread == tid`` throughout. ``recorded`` marks
+    membership in the replay sphere — unrecorded tasks (background
+    processes) run on the same machine but produce no chunks or events.
+    """
+
+    tid: int
+    context: EngineContext | None
+    state: str = STATE_RUNNABLE
+    core_id: int | None = None
+    pid: int = 1
+    recorded: bool = True
+    program: object | None = None  # Program executed by this task
+
+    # Quantum accounting.
+    units_in_quantum: int = 0
+    quantum_limit: int = 0
+
+    # A syscall return value to apply when the task next reaches user mode
+    # (set when a blocking syscall completes while the task is off-core).
+    pending_retval: int | None = None
+
+    # Signals.
+    sig_handlers: dict[int, int] = field(default_factory=dict)
+    sig_pending: deque[int] = field(default_factory=deque)
+    sig_saved: list[EngineContext] = field(default_factory=list)
+
+    exit_code: int | None = None
+    wait_channel: tuple | None = None
+
+    @property
+    def rthread(self) -> int:
+        return self.tid
+
+    @property
+    def alive(self) -> bool:
+        return self.state != STATE_EXITED

@@ -1,0 +1,120 @@
+"""A tiny in-memory virtual file system.
+
+Just enough to give workloads real inputs and outputs: named byte files,
+per-fd cursors, and a pre-opened stdout (fd 1). Reads past end-of-file
+return short; reads of absent files return empty. Every byte a task reads
+flows through the Capo3 input log (copy-to-user data), which is exactly why
+the VFS exists — it is the dominant source of the software stack's
+recording overhead in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import KernelError
+
+STDOUT_FD = 1
+STDOUT_NAME = "stdout"
+
+
+@dataclass
+class _VFile:
+    name: str
+    data: bytearray = field(default_factory=bytearray)
+
+
+@dataclass
+class _FdEntry:
+    file: _VFile
+    offset: int = 0
+
+
+class VFS:
+    """Flat namespace of byte files plus a per-process fd table."""
+
+    def __init__(self):
+        self._files: dict[str, _VFile] = {}
+        self._fds: dict[int, _FdEntry] = {}
+        self._next_fd = 3
+        # Bytes *written* per file during the run (what replay reconstructs;
+        # distinct from contents, which include pre-loaded input data).
+        self._written: dict[str, bytearray] = {}
+        # Same, restricted to writes by recorded (replay-sphere) tasks.
+        self._written_recorded: dict[str, bytearray] = {}
+        stdout = self._get_or_create(STDOUT_NAME)
+        self._fds[STDOUT_FD] = _FdEntry(stdout)
+
+    def _get_or_create(self, name: str) -> _VFile:
+        vfile = self._files.get(name)
+        if vfile is None:
+            vfile = _VFile(name)
+            self._files[name] = vfile
+        return vfile
+
+    # -- setup / inspection -------------------------------------------------
+
+    def add_file(self, name: str, data: bytes) -> None:
+        """Create (or replace) an input file before the run."""
+        self._get_or_create(name).data = bytearray(data)
+
+    def contents(self, name: str) -> bytes:
+        """Full contents of a file (e.g. ``stdout`` after a run)."""
+        vfile = self._files.get(name)
+        return bytes(vfile.data) if vfile else b""
+
+    def file_names(self) -> list[str]:
+        return sorted(self._files)
+
+    # -- syscall backends ------------------------------------------------------
+
+    def open(self, name: str) -> int:
+        fd = self._next_fd
+        self._next_fd += 1
+        self._fds[fd] = _FdEntry(self._get_or_create(name))
+        return fd
+
+    def close(self, fd: int) -> int:
+        if self._fds.pop(fd, None) is None:
+            return 0xFFFFFFFF
+        return 0
+
+    def read(self, fd: int, length: int) -> bytes | None:
+        """Read up to ``length`` bytes; None if the fd is invalid."""
+        entry = self._fds.get(fd)
+        if entry is None:
+            return None
+        data = bytes(entry.file.data[entry.offset:entry.offset + length])
+        entry.offset += len(data)
+        return data
+
+    def write(self, fd: int, data: bytes, recorded: bool = True) -> int | None:
+        """Append ``data``; returns bytes written or None on bad fd.
+
+        ``recorded`` tags the write as coming from a replay-sphere task
+        (replay reconstructs only those).
+        """
+        entry = self._fds.get(fd)
+        if entry is None:
+            return None
+        entry.file.data.extend(data)
+        self._written.setdefault(entry.file.name, bytearray()).extend(data)
+        if recorded:
+            self._written_recorded.setdefault(entry.file.name,
+                                              bytearray()).extend(data)
+        return len(data)
+
+    def written(self) -> dict[str, bytes]:
+        """Bytes written per file during the run."""
+        return {name: bytes(data) for name, data in self._written.items()}
+
+    def written_recorded(self) -> dict[str, bytes]:
+        """Bytes written by replay-sphere tasks only."""
+        return {name: bytes(data)
+                for name, data in self._written_recorded.items()}
+
+    def fd_name(self, fd: int) -> str:
+        entry = self._fds.get(fd)
+        if entry is None:
+            raise KernelError(f"unknown fd {fd}")
+        return entry.file.name

@@ -1,0 +1,46 @@
+"""The simulated QuickIA machine.
+
+A functional multicore simulator: cores execute the IA-lite ISA one *unit*
+at a time (a unit is a whole instruction, or a single iteration of a
+``rep_*`` string instruction), interleaved by a deterministic seeded policy.
+Each core owns a TSO store buffer and an L1 cache kept coherent with MESI
+over a serializing snoop bus — the bus is the hook the Memory Race Recorder
+snoops to detect cross-thread conflicts.
+
+The execution engine (:class:`~repro.machine.core.Engine`) is deliberately
+decoupled from the memory system through a small port interface so the
+replayer can reuse the exact same instruction semantics against its own
+withheld-store memory view.
+"""
+
+from .memory import PhysicalMemory
+from .store_buffer import StoreBuffer
+from .cache import MESICache
+from .bus import SnoopBus
+from .core import Engine, OUTCOME_OK, OUTCOME_SYSCALL, OUTCOME_NONDET
+from .machine import Machine, Core
+from .interleave import (
+    Interleaver,
+    RandomInterleaver,
+    RoundRobinInterleaver,
+    BurstyInterleaver,
+    make_interleaver,
+)
+
+__all__ = [
+    "PhysicalMemory",
+    "StoreBuffer",
+    "MESICache",
+    "SnoopBus",
+    "Engine",
+    "OUTCOME_OK",
+    "OUTCOME_SYSCALL",
+    "OUTCOME_NONDET",
+    "Machine",
+    "Core",
+    "Interleaver",
+    "RandomInterleaver",
+    "RoundRobinInterleaver",
+    "BurstyInterleaver",
+    "make_interleaver",
+]

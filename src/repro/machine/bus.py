@@ -1,0 +1,112 @@
+"""The serializing snoop bus.
+
+Every coherence transaction (read miss, write miss, upgrade) passes through
+here, in a single global order — the simulator's equivalent of the QuickIA
+front-side bus. Two kinds of agents observe transactions:
+
+- the other cores' caches, which downgrade or invalidate their copies
+  (MESI); and
+- *snoopers* — the per-core Memory Race Recorders — which test the line
+  against their signatures and may terminate their current chunk, returning
+  the terminated chunk's timestamp so the requester can raise its Lamport
+  clock above it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from .cache import EXCLUSIVE, MESICache, MODIFIED, SHARED
+
+
+class Snooper(Protocol):
+    """A bus observer (the MRR). Returns the timestamp of a chunk it
+    terminated because of this transaction, or None."""
+
+    def snoop(self, line: int, is_write: bool) -> int | None: ...
+
+
+@dataclass
+class BusStats:
+    transactions: int = 0
+    reads: int = 0
+    read_exclusives: int = 0
+    upgrades: int = 0
+    flushes: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class BusResult:
+    """Outcome of one transaction."""
+
+    fill_state: str
+    victim_timestamps: list[int] = field(default_factory=list)
+    flushed: bool = False
+
+
+class SnoopBus:
+    """Serializes coherence transactions across ``num_cores`` agents."""
+
+    def __init__(self, num_cores: int):
+        self.num_cores = num_cores
+        self._caches: list[MESICache | None] = [None] * num_cores
+        self._snoopers: list[Snooper | None] = [None] * num_cores
+        self.stats = BusStats()
+        # Monotonic transaction sequence, usable as an idealized global clock
+        # (the timestamp_piggyback=False ablation).
+        self.sequence = 0
+
+    def attach_cache(self, core_id: int, cache: MESICache) -> None:
+        self._caches[core_id] = cache
+
+    def attach_snooper(self, core_id: int, snooper: Snooper | None) -> None:
+        self._snoopers[core_id] = snooper
+
+    def transaction(self, requester: int, line: int, is_write: bool,
+                    upgrade: bool = False) -> BusResult:
+        """Run one transaction and notify caches and snoopers.
+
+        ``upgrade`` marks a Shared-to-Modified upgrade (the requester already
+        holds the line; no data transfer, but invalidations and snooping
+        still occur).
+        """
+        self.stats.transactions += 1
+        self.sequence += 1
+        if upgrade:
+            self.stats.upgrades += 1
+        elif is_write:
+            self.stats.read_exclusives += 1
+        else:
+            self.stats.reads += 1
+
+        shared = False
+        flushed = False
+        for core_id, cache in enumerate(self._caches):
+            if core_id == requester or cache is None:
+                continue
+            if is_write:
+                flushed |= cache.snoop_remote_write(line)
+            else:
+                if cache.snoop_remote_read(line):
+                    shared = True
+        if flushed:
+            self.stats.flushes += 1
+
+        victims: list[int] = []
+        for core_id, snooper in enumerate(self._snoopers):
+            if core_id == requester or snooper is None:
+                continue
+            timestamp = snooper.snoop(line, is_write)
+            if timestamp is not None:
+                victims.append(timestamp)
+
+        if is_write:
+            fill_state = MODIFIED
+        else:
+            fill_state = SHARED if shared else EXCLUSIVE
+        return BusResult(fill_state=fill_state, victim_timestamps=victims,
+                         flushed=flushed)

@@ -1,0 +1,149 @@
+"""Per-core L1 cache with MESI coherence states.
+
+The cache tracks *states*, not data (see :mod:`repro.machine.memory`). Its
+job is to decide which accesses require a bus transaction — the events the
+Memory Race Recorder snoops — and to feed the miss counters of the cycle
+model.
+
+MESI invariant relied on by the recorder (argued in DESIGN.md): every
+cross-core communication involves at least one bus transaction, so silent
+(transaction-free) hits can never hide a true conflict.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..config import CacheConfig
+
+MODIFIED = "M"
+EXCLUSIVE = "E"
+SHARED = "S"
+
+# Access classifications returned by classify_write/classify_read.
+HIT = "hit"
+MISS = "miss"
+UPGRADE = "upgrade"
+
+
+@dataclass
+class CacheStats:
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    upgrades: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    invalidations_received: int = 0
+    downgrades_received: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class MESICache:
+    """Set-associative MESI state cache with LRU replacement."""
+
+    config: CacheConfig
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        # One LRU-ordered dict per set: line address -> state.
+        self._sets: list[OrderedDict[int, str]] = [
+            OrderedDict() for _ in range(self.config.sets)
+        ]
+
+    def _set_for(self, line: int) -> OrderedDict[int, str]:
+        return self._sets[self.config.set_index(line)]
+
+    def state(self, line: int) -> str | None:
+        """MESI state of a line, or None if not cached (Invalid)."""
+        return self._set_for(line).get(line)
+
+    def classify_read(self, line: int) -> str:
+        """HIT (M/E/S, no transaction) or MISS (needs a BusRd)."""
+        entry_set = self._set_for(line)
+        if line in entry_set:
+            entry_set.move_to_end(line)
+            self.stats.read_hits += 1
+            return HIT
+        self.stats.read_misses += 1
+        return MISS
+
+    def classify_write(self, line: int) -> str:
+        """HIT (M/E, silent), UPGRADE (S, needs BusUpgr) or MISS (BusRdX)."""
+        entry_set = self._set_for(line)
+        state = entry_set.get(line)
+        if state in (MODIFIED, EXCLUSIVE):
+            entry_set.move_to_end(line)
+            entry_set[line] = MODIFIED
+            self.stats.write_hits += 1
+            return HIT
+        if state == SHARED:
+            entry_set.move_to_end(line)
+            self.stats.upgrades += 1
+            return UPGRADE
+        self.stats.write_misses += 1
+        return MISS
+
+    def fill(self, line: int, state: str) -> bool:
+        """Insert a line after a bus transaction; returns True if a modified
+        victim was written back."""
+        entry_set = self._set_for(line)
+        wrote_back = False
+        if line not in entry_set and len(entry_set) >= self.config.ways:
+            _victim, victim_state = entry_set.popitem(last=False)
+            self.stats.evictions += 1
+            if victim_state == MODIFIED:
+                self.stats.writebacks += 1
+                wrote_back = True
+        entry_set[line] = state
+        entry_set.move_to_end(line)
+        return wrote_back
+
+    def snoop_remote_read(self, line: int) -> bool:
+        """Another core issued BusRd. Downgrade M/E to S.
+
+        Returns True if this cache held the line at all (so the requester
+        must fill in Shared rather than Exclusive).
+        """
+        entry_set = self._set_for(line)
+        state = entry_set.get(line)
+        if state is None:
+            return False
+        if state in (MODIFIED, EXCLUSIVE):
+            if state == MODIFIED:
+                self.stats.writebacks += 1
+            entry_set[line] = SHARED
+            self.stats.downgrades_received += 1
+        return True
+
+    def snoop_remote_write(self, line: int) -> bool:
+        """Another core issued BusRdX/BusUpgr. Invalidate.
+
+        Returns True if a modified copy was flushed.
+        """
+        entry_set = self._set_for(line)
+        state = entry_set.pop(line, None)
+        if state is None:
+            return False
+        self.stats.invalidations_received += 1
+        if state == MODIFIED:
+            self.stats.writebacks += 1
+            return True
+        return False
+
+    def flush_all(self) -> None:
+        """Drop every line (states only; memory already holds the data)."""
+        for entry_set in self._sets:
+            entry_set.clear()
+
+    def cached_lines(self) -> dict[int, str]:
+        """All cached lines and their states (for tests and debugging)."""
+        merged: dict[int, str] = {}
+        for entry_set in self._sets:
+            merged.update(entry_set)
+        return merged

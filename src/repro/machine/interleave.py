@@ -1,0 +1,92 @@
+"""Deterministic interleaving policies.
+
+The simulator advances one core at a time; the interleaver picks which.
+Given the same seed, an interleaver reproduces the same choices, so a whole
+recorded run is a pure function of (program, config, seeds) — which is what
+lets the test suite demand that *replay from the logs alone* (no seeds)
+reproduces the run.
+
+Different policies stress the recorder differently: ``random`` maximizes
+fine-grained races, ``bursty`` creates longer chunks with abrupt conflict
+storms, ``rr`` is the most cache-friendly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol, Sequence
+
+from ..errors import ConfigError
+
+
+class Interleaver(Protocol):
+    """Chooses the next core to step among those with runnable work."""
+
+    def choose(self, candidates: Sequence[int]) -> int: ...
+
+
+class RandomInterleaver:
+    """Uniformly random choice each step."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def choose(self, candidates: Sequence[int]) -> int:
+        if len(candidates) == 1:
+            return candidates[0]
+        return candidates[self._rng.randrange(len(candidates))]
+
+
+class RoundRobinInterleaver:
+    """Strict rotation over whichever cores are currently runnable."""
+
+    def __init__(self, seed: int = 0):
+        self._last = -1
+
+    def choose(self, candidates: Sequence[int]) -> int:
+        for candidate in candidates:
+            if candidate > self._last:
+                self._last = candidate
+                return candidate
+        self._last = candidates[0]
+        return candidates[0]
+
+
+class BurstyInterleaver:
+    """Stays on one core for a random burst, then switches.
+
+    Produces long conflict-free runs punctuated by communication bursts —
+    the access pattern where chunking pays off most.
+    """
+
+    def __init__(self, seed: int = 0, min_burst: int = 20, max_burst: int = 400):
+        if min_burst < 1 or max_burst < min_burst:
+            raise ConfigError("need 1 <= min_burst <= max_burst")
+        self._rng = random.Random(seed)
+        self._min = min_burst
+        self._max = max_burst
+        self._current: int | None = None
+        self._remaining = 0
+
+    def choose(self, candidates: Sequence[int]) -> int:
+        if self._current in candidates and self._remaining > 0:
+            self._remaining -= 1
+            return self._current
+        self._current = candidates[self._rng.randrange(len(candidates))]
+        self._remaining = self._rng.randint(self._min, self._max) - 1
+        return self._current
+
+
+_POLICIES = {
+    "random": RandomInterleaver,
+    "rr": RoundRobinInterleaver,
+    "bursty": BurstyInterleaver,
+}
+
+
+def make_interleaver(policy: str = "random", seed: int = 0) -> Interleaver:
+    """Build an interleaver by policy name (``random``, ``rr``, ``bursty``)."""
+    if policy not in _POLICIES:
+        raise ConfigError(f"unknown interleaving policy {policy!r}; "
+                          f"choose from {sorted(_POLICIES)}")
+    return _POLICIES[policy](seed)

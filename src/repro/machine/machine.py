@@ -1,0 +1,313 @@
+"""The multicore machine: cores, caches, store buffers, bus, memory.
+
+The machine provides mechanism only — it steps whichever core it is told
+to step and keeps coherence, store-buffer drains and cycle accounting
+honest. Policy (which core runs which task, when to preempt) belongs to the
+OS model in :mod:`repro.kernel`.
+
+Determinism contract: the sequence of architectural state transitions is a
+pure function of (program, machine config, sequence of step_core calls).
+Recording hardware and cost accounting never influence it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..config import MachineConfig
+from ..errors import MachineFault
+from ..isa.program import Program
+from ..perf.costmodel import DEFAULT_COST_MODEL, CostModel
+from .bus import SnoopBus
+from .cache import HIT as CACHE_HIT, MESICache, MISS as CACHE_MISS, MODIFIED, UPGRADE
+from .core import Engine
+from .memory import PhysicalMemory
+from .store_buffer import (
+    RESOLVE_CONFLICT,
+    RESOLVE_HIT,
+    StoreBuffer,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance for typing only
+    from ..mrr.recorder import MemoryRaceRecorder
+
+
+class Core:
+    """One core: engine + store buffer + cache + optional recorder."""
+
+    def __init__(self, core_id: int, machine: "Machine"):
+        self.core_id = core_id
+        self.machine = machine
+        self.engine: Engine | None = None
+        self.store_buffer = StoreBuffer(machine.config.store_buffer.entries)
+        self.cache = MESICache(machine.config.cache)
+        self.recorder: "MemoryRaceRecorder | None" = None
+        self.port = _RecordPort(self)
+        self.cycles = 0
+        # The kernel's bookkeeping slot: the task currently dispatched here.
+        self.task = None
+
+    @property
+    def idle(self) -> bool:
+        return self.task is None
+
+    def set_program(self, program: Program) -> None:
+        self.engine = Engine(program)
+
+    # -- store buffer drains -------------------------------------------------
+
+    def drain_one(self) -> None:
+        """Make the oldest buffered store globally visible."""
+        entry = self.store_buffer.pop_oldest()
+        line = self.machine.config.cache.line_of(entry.addr)
+        classification = self.cache.classify_write(line)
+        if classification == CACHE_MISS:
+            self.machine.bus_transaction(self, line, is_write=True)
+        elif classification == UPGRADE:
+            self.machine.bus_transaction(self, line, is_write=True, upgrade=True)
+        memory = self.machine.memory
+        if entry.size == 4:
+            memory.write_word(entry.addr, entry.value)
+        else:
+            memory.write_byte(entry.addr, entry.value)
+        self.cycles += self.machine.cost.store_drain
+        if self.recorder is not None:
+            self.recorder.on_store_drain(line)
+
+    def drain_all(self) -> None:
+        while not self.store_buffer.empty:
+            self.drain_one()
+
+
+class _RecordPort:
+    """The engine's memory port during normal (recordable) execution:
+    TSO store buffer in front of a MESI cache on the snoop bus."""
+
+    def __init__(self, core: Core):
+        self._core = core
+
+    def load(self, addr: int, size: int) -> int:
+        core = self._core
+        machine = core.machine
+        status, value = core.store_buffer.resolve(addr, size)
+        line = machine.config.cache.line_of(addr)
+        if status == RESOLVE_HIT:
+            if core.recorder is not None:
+                core.recorder.on_load(line)
+            return value  # type: ignore[return-value]
+        if status == RESOLVE_CONFLICT:
+            core.drain_all()
+        if core.cache.classify_read(line) == CACHE_MISS:
+            machine.bus_transaction(core, line, is_write=False)
+        if core.recorder is not None:
+            core.recorder.on_load(line)
+        if size == 4:
+            return machine.memory.read_word(addr)
+        return machine.memory.read_byte(addr)
+
+    def store(self, addr: int, size: int, value: int) -> None:
+        core = self._core
+        if core.store_buffer.full:
+            core.drain_one()
+        core.store_buffer.push(addr, size, value)
+
+    def fence(self) -> None:
+        self._core.drain_all()
+
+    def atomic_load(self, addr: int, size: int) -> int:
+        """First half of a bus-locked RMW: take exclusive ownership, read."""
+        core = self._core
+        machine = core.machine
+        line = machine.config.cache.line_of(addr)
+        classification = core.cache.classify_write(line)
+        if classification == CACHE_MISS:
+            machine.bus_transaction(core, line, is_write=True)
+        elif classification == UPGRADE:
+            machine.bus_transaction(core, line, is_write=True, upgrade=True)
+        core.cycles += machine.cost.atomic_extra
+        if core.recorder is not None:
+            core.recorder.on_atomic_read(line)
+        if size == 4:
+            return machine.memory.read_word(addr)
+        return machine.memory.read_byte(addr)
+
+    def atomic_store(self, addr: int, size: int, value: int) -> None:
+        """Second half of a bus-locked RMW: line is already Modified."""
+        core = self._core
+        machine = core.machine
+        line = machine.config.cache.line_of(addr)
+        if size == 4:
+            machine.memory.write_word(addr, value)
+        else:
+            machine.memory.write_byte(addr, value)
+        if core.recorder is not None:
+            core.recorder.on_atomic_write(line)
+
+
+class Machine:
+    """The QuickIA box: ``num_cores`` cores over one snoop bus."""
+
+    def __init__(self, config: MachineConfig | None = None,
+                 cost: CostModel | None = None):
+        self.config = config or MachineConfig()
+        self.cost = cost or DEFAULT_COST_MODEL
+        self.memory = PhysicalMemory(self.config.memory_bytes)
+        self.bus = SnoopBus(self.config.num_cores)
+        self.cores = [Core(core_id, self) for core_id in range(self.config.num_cores)]
+        for core in self.cores:
+            self.bus.attach_cache(core.core_id, core.cache)
+        self.global_step = 0
+        self.program: Program | None = None
+        # Globally synchronized chunk-timestamp source — the simulator's
+        # stand-in for the invariant TSC the prototype reads at chunk
+        # termination. Strictly increasing across all cores, so replay's
+        # (timestamp, rthread) sort reproduces real termination order and
+        # every cross-chunk dependency is respected by construction.
+        self._chunk_timestamps = 0
+        # True while a bus transaction is being processed. Recorder
+        # termination-time drains (DRAIN tso mode) are forbidden inside a
+        # transaction: they would issue nested transactions and break the
+        # outer one's atomicity (e.g. two Modified copies of a line).
+        self.in_bus_transaction = False
+
+    def next_chunk_timestamp(self) -> int:
+        self._chunk_timestamps += 1
+        return self._chunk_timestamps
+
+    def load_program(self, program: Program) -> None:
+        """Load the data segment and point every core's engine at the code."""
+        self.program = program
+        self.memory.load_blob(program.data_base, program.data)
+        for core in self.cores:
+            core.set_program(program)
+
+    def attach_recorder(self, core_id: int, recorder) -> None:
+        self.cores[core_id].recorder = recorder
+        self.bus.attach_snooper(core_id, recorder)
+
+    def detach_recorders(self) -> None:
+        for core in self.cores:
+            core.recorder = None
+            self.bus.attach_snooper(core.core_id, None)
+
+    # -- transactions ---------------------------------------------------------
+
+    def bus_transaction(self, core: Core, line: int, is_write: bool,
+                        upgrade: bool = False) -> None:
+        self.in_bus_transaction = True
+        try:
+            result = self.bus.transaction(core.core_id, line, is_write, upgrade)
+        finally:
+            self.in_bus_transaction = False
+        core.cycles += self.cost.upgrade if upgrade else self.cost.l1_miss
+        if result.flushed:
+            core.cycles += self.cost.writeback
+        if core.cache.fill(line, MODIFIED if is_write else result.fill_state):
+            core.cycles += self.cost.writeback
+        if core.recorder is not None and result.victim_timestamps:
+            core.recorder.observe_victims(result.victim_timestamps)
+
+    def coherent_copy(self, core: Core, addr: int, data: bytes) -> None:
+        """Kernel copy-to-user performed through ``core``'s cache.
+
+        Each touched line is acquired exclusively (so racing user accesses
+        on other cores are conflict-detected by their recorders) and the
+        copy joins the current chunk's write set — ordering the data as if
+        written at the start of the thread's next chunk, which is where the
+        replayer injects it.
+        """
+        if not data:
+            return
+        line_bytes = self.config.cache.line_bytes
+        first = self.config.cache.line_of(addr)
+        last = self.config.cache.line_of(addr + len(data) - 1)
+        for line in range(first, last + line_bytes, line_bytes):
+            classification = core.cache.classify_write(line)
+            if classification == CACHE_MISS:
+                self.bus_transaction(core, line, is_write=True)
+            elif classification == UPGRADE:
+                self.bus_transaction(core, line, is_write=True, upgrade=True)
+            if core.recorder is not None:
+                core.recorder.on_copy_write(line)
+        self.memory.write(addr, data)
+
+    def coherent_read(self, core: Core, addr: int, size: int) -> bytes:
+        """Kernel copy-from-user performed through ``core``'s cache.
+
+        Symmetric to :meth:`coherent_copy`: each line joins the current
+        chunk's *read* set, so a racing remote store is ordered against the
+        kernel's read of the buffer — which is what lets the replayer
+        reconstruct output data (e.g. write() payloads) exactly even when
+        another thread races the buffer.
+        """
+        if size <= 0:
+            return b""
+        line_bytes = self.config.cache.line_bytes
+        first = self.config.cache.line_of(addr)
+        last = self.config.cache.line_of(addr + size - 1)
+        for line in range(first, last + line_bytes, line_bytes):
+            if core.cache.classify_read(line) == CACHE_MISS:
+                self.bus_transaction(core, line, is_write=False)
+            if core.recorder is not None:
+                core.recorder.on_copy_read(line)
+        return self.memory.read(addr, size)
+
+    # -- stepping ---------------------------------------------------------------
+
+    def step_core(self, core_id: int) -> str:
+        """Execute one unit on ``core_id`` and run post-unit housekeeping."""
+        core = self.cores[core_id]
+        if core.engine is None:
+            raise MachineFault("no program loaded", core_id=core_id)
+        try:
+            outcome = core.engine.step(core.port)
+        except MachineFault as fault:
+            fault.core_id = core_id
+            raise
+        core.cycles += self.cost.unit
+        self.after_unit(core)
+        return outcome
+
+    def after_unit(self, core: Core) -> None:
+        self.global_step += 1
+        if core.recorder is not None:
+            core.recorder.after_unit()
+        self._background_drains()
+
+    def idle_tick(self) -> None:
+        """Advance time when no core is runnable (tasks blocked/sleeping)."""
+        self.global_step += 1
+        self._background_drains()
+
+    def _background_drains(self) -> None:
+        sb_config = self.config.store_buffer
+        if self.global_step % sb_config.drain_period:
+            return
+        for core in self.cores:
+            for _ in range(sb_config.drain_burst):
+                if core.store_buffer.empty:
+                    break
+                core.drain_one()
+
+    # -- introspection --------------------------------------------------------------
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(core.cycles for core in self.cores)
+
+    def stats_dict(self) -> dict:
+        return {
+            "global_steps": self.global_step,
+            "total_cycles": self.total_cycles,
+            "bus": self.bus.stats.as_dict(),
+            "cores": [
+                {
+                    "cycles": core.cycles,
+                    "retired": core.engine.retired if core.engine else 0,
+                    "loads": core.engine.loads if core.engine else 0,
+                    "stores": core.engine.stores if core.engine else 0,
+                    "cache": core.cache.stats.as_dict(),
+                }
+                for core in self.cores
+            ],
+        }

@@ -1,0 +1,118 @@
+"""Chunk-log compression.
+
+The packed format spends most of its bits on timestamps and instruction
+counts that are strongly correlated within a thread. The compressor splits
+the log into per-thread streams, delta-encodes timestamps, and varint-packs
+every field; the result is optionally squeezed further with zlib. This is
+the same structure-aware approach the paper credits for its small log
+rates, and the F3 bench reports both raw and compressed figures.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Sequence
+
+from ..errors import LogFormatError
+from .chunk import ChunkEntry, Reason
+
+_MAGIC = b"QRCZ"
+
+
+def _varint(value: int) -> bytes:
+    if value < 0:
+        raise LogFormatError("varint requires non-negative value")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def _read_varint(blob: bytes, offset: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(blob):
+            raise LogFormatError("truncated varint")
+        byte = blob[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+
+
+def compress_chunks(entries: Sequence[ChunkEntry], use_zlib: bool = True) -> bytes:
+    """Delta+varint encode per thread, then optionally deflate."""
+    streams: dict[int, list[ChunkEntry]] = {}
+    for entry in entries:
+        streams.setdefault(entry.rthread, []).append(entry)
+
+    body = bytearray(_varint(len(streams)))
+    for rthread in sorted(streams):
+        # CBUFs drain per core, so a migrating thread's entries may appear
+        # out of timestamp order in the raw log; the stream itself is
+        # timestamp-ordered by the recorder's invariants.
+        stream = sorted(streams[rthread], key=lambda entry: entry.timestamp)
+        body += _varint(rthread)
+        body += _varint(len(stream))
+        last_ts = 0
+        for entry in stream:
+            delta = entry.timestamp - last_ts
+            if delta < 0:
+                raise LogFormatError(
+                    f"timestamps not monotone within rthread {rthread}")
+            last_ts = entry.timestamp
+            body += _varint(Reason.CODES[entry.reason])
+            body += _varint(delta)
+            body += _varint(entry.icount)
+            body += _varint(entry.memops)
+            body += _varint(entry.rsw)
+
+    payload = bytes(body)
+    flags = 1 if use_zlib else 0
+    if use_zlib:
+        payload = zlib.compress(payload, level=6)
+    return _MAGIC + bytes([flags]) + payload
+
+
+def decompress_chunks(blob: bytes) -> list[ChunkEntry]:
+    """Invert :func:`compress_chunks`; entries return in global
+    (timestamp, rthread) order."""
+    if blob[:4] != _MAGIC:
+        raise LogFormatError("bad compressed chunk log magic")
+    flags = blob[4]
+    payload = blob[5:]
+    if flags & 1:
+        payload = zlib.decompress(payload)
+
+    entries: list[ChunkEntry] = []
+    offset = 0
+    num_streams, offset = _read_varint(payload, offset)
+    for _ in range(num_streams):
+        rthread, offset = _read_varint(payload, offset)
+        count, offset = _read_varint(payload, offset)
+        timestamp = 0
+        for _ in range(count):
+            reason_code, offset = _read_varint(payload, offset)
+            delta, offset = _read_varint(payload, offset)
+            icount, offset = _read_varint(payload, offset)
+            memops, offset = _read_varint(payload, offset)
+            rsw, offset = _read_varint(payload, offset)
+            timestamp += delta
+            reason = Reason.NAMES.get(reason_code)
+            if reason is None:
+                raise LogFormatError(f"unknown reason code {reason_code}")
+            entries.append(ChunkEntry(rthread, timestamp, icount, memops,
+                                      rsw, reason))
+    entries.sort(key=lambda entry: entry.sort_key)
+    return entries
+
+
+def compressed_size(entries: Sequence[ChunkEntry], use_zlib: bool = True) -> int:
+    return len(compress_chunks(entries, use_zlib=use_zlib))

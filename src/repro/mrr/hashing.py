@@ -1,0 +1,73 @@
+"""H3 hash family over cache-line addresses.
+
+H3 is the standard hardware-friendly universal hash: the output is the XOR
+of per-input-bit random masks selected by the set bits of the key. It is
+what signature proposals (Bulk, SigTM, and Intel's MRR line) assume, because
+it is a tree of XOR gates in hardware.
+
+The masks are derived from a fixed seed so every recorder — and the
+analysis tooling — computes identical hashes.
+"""
+
+from __future__ import annotations
+
+import random
+
+_ADDRESS_BITS = 32
+_DEFAULT_SEED = 0x9E3779B9
+
+
+class H3Hasher:
+    """``num_hashes`` independent H3 functions mapping keys to [0, buckets)."""
+
+    def __init__(self, buckets: int, num_hashes: int, seed: int = _DEFAULT_SEED):
+        if buckets & (buckets - 1) or buckets <= 0:
+            raise ValueError("buckets must be a power of two")
+        if not 1 <= num_hashes <= 8:
+            raise ValueError("num_hashes must be in [1, 8]")
+        self.buckets = buckets
+        self.num_hashes = num_hashes
+        rng = random.Random(seed)
+        mask = buckets - 1
+        # masks[h][bit] is XORed in when key bit `bit` is set.
+        self._masks: list[list[int]] = [
+            [rng.randrange(buckets) & mask for _ in range(_ADDRESS_BITS)]
+            for _ in range(num_hashes)
+        ]
+        # Hashing is hot (every memory access); memoize per key.
+        self._cache: dict[int, tuple[int, ...]] = {}
+
+    def indices(self, key: int) -> tuple[int, ...]:
+        """The ``num_hashes`` bucket indices for ``key``."""
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        out = []
+        for masks in self._masks:
+            acc = 0
+            bits = key & 0xFFFFFFFF
+            bit = 0
+            while bits:
+                if bits & 1:
+                    acc ^= masks[bit]
+                bits >>= 1
+                bit += 1
+            out.append(acc)
+        result = tuple(out)
+        self._cache[key] = result
+        return result
+
+
+_shared: dict[tuple[int, int, int], H3Hasher] = {}
+
+
+def shared_hasher(buckets: int, num_hashes: int,
+                  seed: int = _DEFAULT_SEED) -> H3Hasher:
+    """A process-wide memoized hasher (signatures with equal geometry share
+    one hash cache; the masks are deterministic anyway)."""
+    key = (buckets, num_hashes, seed)
+    hasher = _shared.get(key)
+    if hasher is None:
+        hasher = H3Hasher(buckets, num_hashes, seed)
+        _shared[key] = hasher
+    return hasher

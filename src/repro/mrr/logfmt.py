@@ -1,0 +1,90 @@
+"""Binary encoding of chunk log entries.
+
+Mirrors the prototype's packed 128-bit entry::
+
+    byte 0      rthread        (u8)
+    byte 1      reason code    (u8)
+    bytes 2-3   RSW            (u16)
+    bytes 4-7   timestamp      (u32)
+    bytes 8-11  icount         (u32)
+    bytes 12-15 memops         (u32)
+
+A stream is a 12-byte header (magic ``QRCL``, version, flags, count)
+followed by the entries. When the debug load-hash flag is set, each entry
+carries an extra 8 bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Sequence
+
+from ..errors import LogFormatError
+from .chunk import ChunkEntry, Reason
+
+MAGIC = b"QRCL"
+VERSION = 1
+ENTRY_BYTES = 16
+_HEADER = struct.Struct("<4sBBHI")
+_ENTRY = struct.Struct("<BBHIII")
+_HASH = struct.Struct("<Q")
+
+FLAG_LOAD_HASH = 0x01
+
+
+def encode_chunks(entries: Sequence[ChunkEntry],
+                  with_load_hash: bool = False) -> bytes:
+    """Serialize entries to the packed stream format."""
+    flags = FLAG_LOAD_HASH if with_load_hash else 0
+    out = bytearray(_HEADER.pack(MAGIC, VERSION, flags, 0, len(entries)))
+    for entry in entries:
+        if entry.rthread > 0xFF:
+            raise LogFormatError(f"rthread {entry.rthread} exceeds u8")
+        if entry.rsw > 0xFFFF:
+            raise LogFormatError(f"rsw {entry.rsw} exceeds u16")
+        out += _ENTRY.pack(entry.rthread, Reason.CODES[entry.reason],
+                           entry.rsw, entry.timestamp & 0xFFFFFFFF,
+                           entry.icount, entry.memops)
+        if with_load_hash:
+            out += _HASH.pack(entry.load_hash or 0)
+    return bytes(out)
+
+
+def decode_chunks(blob: bytes) -> list[ChunkEntry]:
+    """Parse a packed stream back into entries (in stream order)."""
+    if len(blob) < _HEADER.size:
+        raise LogFormatError("chunk stream truncated before header")
+    magic, version, flags, _reserved, count = _HEADER.unpack_from(blob, 0)
+    if magic != MAGIC:
+        raise LogFormatError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise LogFormatError(f"unsupported chunk stream version {version}")
+    with_hash = bool(flags & FLAG_LOAD_HASH)
+    stride = ENTRY_BYTES + (_HASH.size if with_hash else 0)
+    expected = _HEADER.size + count * stride
+    if len(blob) != expected:
+        raise LogFormatError(f"chunk stream length {len(blob)} != expected {expected}")
+    entries: list[ChunkEntry] = []
+    offset = _HEADER.size
+    for _ in range(count):
+        rthread, reason_code, rsw, timestamp, icount, memops = \
+            _ENTRY.unpack_from(blob, offset)
+        offset += ENTRY_BYTES
+        load_hash = None
+        if with_hash:
+            (load_hash,) = _HASH.unpack_from(blob, offset)
+            offset += _HASH.size
+        reason = Reason.NAMES.get(reason_code)
+        if reason is None:
+            raise LogFormatError(f"unknown reason code {reason_code}")
+        entries.append(ChunkEntry(rthread, timestamp, icount, memops, rsw,
+                                  reason, load_hash))
+    return entries
+
+
+def encoded_size(entries: Iterable[ChunkEntry],
+                 with_load_hash: bool = False) -> int:
+    """Size in bytes of the packed stream without building it."""
+    count = sum(1 for _ in entries)
+    stride = ENTRY_BYTES + (_HASH.size if with_load_hash else 0)
+    return _HEADER.size + count * stride

@@ -1,0 +1,186 @@
+"""The per-core Memory Race Recorder.
+
+Responsibilities (matching the prototype's MRR block):
+
+- accumulate cache-line addresses into read/write Bloom signatures
+  (loads and atomics at execution time; plain stores at *drain* time,
+  which is what makes the RSW accounting correct under TSO);
+- snoop bus transactions and terminate the current chunk when a remote
+  request hits the signatures — guaranteeing that no two conflicting
+  accesses ever inhabit a pair of *open* chunks;
+- timestamp each chunk from the machine's globally synchronized clock
+  (the prototype reads the invariant TSC at termination). Because the
+  clock is strictly increasing across cores, timestamps order chunks by
+  real termination time: a dependence on a *closed* chunk is ordered for
+  free, and a dependence on an *open* chunk forces it closed first via
+  the signature hit — so replaying in timestamp order respects every
+  cross-thread dependence;
+- terminate chunks on instruction-count cap, signature saturation, and on
+  every kernel entry (driven by the Replay Sphere Manager);
+- emit packed chunk entries to a sink (the CBUF).
+
+The recorder never influences execution — it observes, counts cycles, and
+logs. That invariant is what lets the overhead experiments compare modes
+under identical interleavings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..config import MRRConfig, TsoMode
+from ..errors import RecordingError
+from .chunk import ChunkEntry, Reason
+from .signature import BloomSignature
+
+
+class MemoryRaceRecorder:
+    """MRR hardware state for one core."""
+
+    def __init__(self, config: MRRConfig, core,
+                 sink: Callable[[ChunkEntry], None]):
+        self.config = config
+        self.core = core
+        self.sink = sink
+        self.read_sig = BloomSignature(config.signature_bits, config.signature_hashes)
+        self.write_sig = BloomSignature(config.signature_bits, config.signature_hashes)
+        self.rthread: int | None = None
+        self._icnt_start = 0
+        # Diagnostics for the evaluation figures.
+        self.chunks_logged = 0
+        self.conflicts_caused = 0
+
+    @property
+    def active(self) -> bool:
+        return self.rthread is not None
+
+    # -- thread virtualization (driven by the RSM) --------------------------
+
+    def set_thread(self, rthread: int) -> None:
+        """Begin recording ``rthread`` on this core."""
+        if self.rthread is not None:
+            raise RecordingError(
+                f"recorder busy with rthread {self.rthread}; terminate first")
+        self.rthread = rthread
+        self._begin_chunk()
+
+    def clear_thread(self) -> None:
+        """Stop recording on this core (context switch away)."""
+        self.rthread = None
+        self.read_sig.clear()
+        self.write_sig.clear()
+
+    def _begin_chunk(self) -> None:
+        self.read_sig.clear()
+        self.write_sig.clear()
+        engine = self.core.engine
+        self._icnt_start = engine.retired
+        engine.load_hash = 0
+
+    # -- signature insertion hooks ------------------------------------------
+
+    def on_load(self, line: int) -> None:
+        if self.rthread is not None:
+            self.read_sig.insert(line)
+
+    def on_store_drain(self, line: int) -> None:
+        if self.rthread is not None:
+            self.write_sig.insert(line)
+
+    def on_atomic_read(self, line: int) -> None:
+        if self.rthread is not None:
+            self.read_sig.insert(line)
+
+    def on_atomic_write(self, line: int) -> None:
+        if self.rthread is not None:
+            self.write_sig.insert(line)
+
+    def on_copy_write(self, line: int) -> None:
+        """A kernel copy-to-user performed on behalf of this thread; the
+        data becomes part of the current chunk's write set."""
+        if self.rthread is not None:
+            self.write_sig.insert(line)
+
+    def on_copy_read(self, line: int) -> None:
+        """A kernel copy-from-user on behalf of this thread (write()
+        payloads, path strings); joins the current chunk's read set."""
+        if self.rthread is not None:
+            self.read_sig.insert(line)
+
+    # -- conflict detection ----------------------------------------------------
+
+    def snoop(self, line: int, is_write: bool) -> int | None:
+        """Check a remote transaction; terminate and return the chunk's
+        timestamp on a hit."""
+        if self.rthread is None:
+            return None
+        if is_write:
+            if self.write_sig.test(line):
+                return self.terminate(Reason.WAW)
+            if self.read_sig.test(line):
+                return self.terminate(Reason.WAR)
+            return None
+        if self.write_sig.test(line):
+            return self.terminate(Reason.RAW)
+        return None
+
+    def observe_victims(self, victim_timestamps: list[int]) -> None:
+        """This core's transaction terminated remote chunks (diagnostics
+        only: ordering is carried by the global timestamp clock)."""
+        self.conflicts_caused += len(victim_timestamps)
+
+    # -- self-initiated terminations -----------------------------------------
+
+    def after_unit(self) -> None:
+        """Post-unit checks: chunk size cap and signature saturation."""
+        if self.rthread is None:
+            return
+        if self.core.engine.retired - self._icnt_start >= self.config.max_chunk_instructions:
+            self.terminate(Reason.SIZE)
+            return
+        threshold = self.config.saturation_threshold
+        if threshold < 1.0 and (self.read_sig.saturation >= threshold
+                                or self.write_sig.saturation >= threshold):
+            self.terminate(Reason.SATURATION)
+
+    # -- termination -----------------------------------------------------------
+
+    def terminate(self, reason: str) -> int:
+        """Close the current chunk, emit its entry, start the next one.
+
+        Returns the chunk's timestamp.
+        """
+        if self.rthread is None:
+            raise RecordingError("terminate with no active rthread")
+        machine = self.core.machine
+        if (self.config.tso_mode == TsoMode.DRAIN
+                and not machine.in_bus_transaction):
+            # Ablation A3: stall termination until the store buffer is
+            # empty (the drains insert into the *current*, closing chunk).
+            # Draining is only legal OUTSIDE a bus transaction: a victim
+            # terminated by a snoop sits inside the requester's
+            # transaction, and draining there would issue nested
+            # transactions that break the outer one's atomicity — besides
+            # creating ordering cycles between simultaneously closing
+            # chunks. Snoop-cut chunks therefore fall back to RSW logging,
+            # which is precisely the implementability argument for the
+            # paper's RSW design.
+            self.core.drain_all()
+        # Timestamp taken AFTER the drain: chunks the drain terminated
+        # elsewhere must be ordered before this one (their reads preceded
+        # this chunk's store visibility).
+        timestamp = machine.next_chunk_timestamp()
+        engine = self.core.engine
+        entry = ChunkEntry(
+            rthread=self.rthread,
+            timestamp=timestamp,
+            icount=engine.retired - self._icnt_start,
+            memops=engine.cur_memops,
+            rsw=len(self.core.store_buffer),
+            reason=reason,
+            load_hash=engine.load_hash if self.config.log_load_hash else None,
+        )
+        self.sink(entry)
+        self.chunks_logged += 1
+        self._begin_chunk()
+        return timestamp

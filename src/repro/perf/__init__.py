@@ -1,0 +1,18 @@
+"""Performance modelling: cycle costs and recording-overhead experiments.
+
+The simulator is functional, so "time" is cycle accounting with documented
+constants (:mod:`repro.perf.costmodel`). Because the recording machinery
+never changes *what* executes — only how many cycles it charges — two runs
+with the same seed and different recording modes have identical
+interleavings, and their cycle difference isolates recording overhead
+exactly. That is how the paper-shaped overhead figures (F1/F2/F8) are
+produced; see DESIGN.md for the calibration rationale.
+"""
+
+from .costmodel import CostModel, DEFAULT_COST_MODEL
+
+# NOTE: repro.perf.overhead is imported lazily by callers (it depends on
+# repro.session, which depends on the machine, which depends on this
+# package's cost model — importing it here would close that cycle).
+
+__all__ = ["CostModel", "DEFAULT_COST_MODEL"]

@@ -1,0 +1,84 @@
+"""Recording-overhead measurement: native vs hardware-only vs full stack.
+
+Runs the same (program, config, seeds) three times — recording off, MRR
+hardware only, full Capo3 stack — and compares total cycles. Because the
+recording machinery never alters execution, the three runs retire the same
+instructions under the same interleaving; the cycle deltas are pure
+recording cost. This regenerates the paper's central overhead figure (F1)
+and its breakdown (F2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..config import SimConfig
+from ..errors import ReproError
+from ..isa.program import Program
+from ..session import MODE_FULL, MODE_HW, MODE_OFF, RunOutcome, simulate
+
+
+@dataclass
+class OverheadResult:
+    """Cycle comparison of one workload across recording modes."""
+
+    name: str
+    native: RunOutcome
+    hw_only: RunOutcome
+    full: RunOutcome
+
+    def __post_init__(self) -> None:
+        if not (self.native.final_memory_digest
+                == self.hw_only.final_memory_digest
+                == self.full.final_memory_digest):
+            raise ReproError(
+                f"{self.name}: modes diverged — recording altered execution")
+
+    @property
+    def hw_overhead(self) -> float:
+        """Fractional slowdown of hardware-only recording vs native."""
+        return self.hw_only.total_cycles / self.native.total_cycles - 1.0
+
+    @property
+    def full_overhead(self) -> float:
+        """Fractional slowdown of the full software stack vs native."""
+        return self.full.total_cycles / self.native.total_cycles - 1.0
+
+    def software_breakdown(self) -> dict[str, float]:
+        """Full-stack overhead cycles attributed to each software component,
+        as fractions of native cycles."""
+        stats = self.full.rsm_stats or {}
+        base = self.native.total_cycles
+        return {
+            "syscall_interposition": stats.get("cycles_interpose", 0) / base,
+            "input_logging": stats.get("cycles_input_log", 0) / base,
+            "cbuf_drain": stats.get("cycles_cbuf_drain", 0) / base,
+            "ctx_switch_flush": stats.get("cycles_ctx_flush", 0) / base,
+        }
+
+    def as_row(self) -> dict[str, Any]:
+        return {
+            "workload": self.name,
+            "native_cycles": self.native.total_cycles,
+            "hw_overhead_pct": 100.0 * self.hw_overhead,
+            "full_overhead_pct": 100.0 * self.full_overhead,
+        }
+
+
+def measure_overhead(program: Program, config: SimConfig | None = None,
+                     seed: int = 0, policy: str = "random",
+                     input_files: Mapping[str, bytes] | None = None,
+                     name: str | None = None,
+                     max_units: int = 200_000_000) -> OverheadResult:
+    """Run the three-mode comparison for one program."""
+    runs = {
+        mode: simulate(program, config=config, seed=seed, policy=policy,
+                       mode=mode, input_files=input_files,
+                       max_units=max_units)
+        for mode in (MODE_OFF, MODE_HW, MODE_FULL)
+    }
+    return OverheadResult(name=name or program.name,
+                          native=runs[MODE_OFF],
+                          hw_only=runs[MODE_HW],
+                          full=runs[MODE_FULL])

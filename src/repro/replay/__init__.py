@@ -1,0 +1,30 @@
+"""Deterministic replay from a :class:`~repro.capo.recording.Recording`.
+
+The replayer executes chunks in global (timestamp, rthread) order on fresh
+per-thread engines. At every chunk boundary it commits withheld stores
+according to the logged RSW counts (TSO visibility), consumes the thread's
+next input event when the boundary is a kernel entry, and re-delivers
+signals at their recorded chunk positions. It sees nothing but the
+recording — no seeds, no kernel — which is precisely the property the
+verification suite checks.
+"""
+
+from .pending import WithheldStores, ReplayPort
+from .schedule import build_schedule, validate_schedule
+from .replayer import Replayer, ReplayResult
+from .inspect import ReplayInspector, ThreadView, WatchHit
+from .verify import VerificationReport, verify_replay
+
+__all__ = [
+    "WithheldStores",
+    "ReplayPort",
+    "build_schedule",
+    "validate_schedule",
+    "Replayer",
+    "ReplayResult",
+    "ReplayInspector",
+    "ThreadView",
+    "WatchHit",
+    "VerificationReport",
+    "verify_replay",
+]

@@ -1,0 +1,99 @@
+"""Withheld stores: the replay-side image of the TSO store buffer.
+
+During replay every store first lands in its thread's withheld FIFO. At a
+chunk boundary with logged RSW ``k``, all but the youngest ``k`` entries
+commit to shared memory — exactly the set that had drained by that boundary
+during recording, because both structures are FIFO. Atomic instructions and
+fences commit everything (the recorder drained the store buffer at those
+points), as does a failed store-to-load forward (the recorder's pipeline
+drained there too).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import ReplayDivergenceError
+from ..machine.memory import PhysicalMemory
+from ..machine.store_buffer import PendingStore
+
+MASK32 = 0xFFFFFFFF
+
+
+class WithheldStores:
+    """Unbounded FIFO of not-yet-visible stores for one replay thread."""
+
+    def __init__(self, memory: PhysicalMemory):
+        self._memory = memory
+        self._entries: deque[PendingStore] = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def push(self, addr: int, size: int, value: int) -> None:
+        self._entries.append(PendingStore(addr, size, value & MASK32))
+
+    def _commit_one(self) -> None:
+        entry = self._entries.popleft()
+        if entry.size == 4:
+            self._memory.write_word(entry.addr, entry.value)
+        else:
+            self._memory.write_byte(entry.addr, entry.value)
+
+    def commit_all(self) -> None:
+        while self._entries:
+            self._commit_one()
+
+    def commit_keep_last(self, keep: int) -> None:
+        """Commit the oldest entries, keeping the youngest ``keep``."""
+        if keep > len(self._entries):
+            raise ReplayDivergenceError(
+                f"RSW {keep} exceeds {len(self._entries)} withheld stores")
+        while len(self._entries) > keep:
+            self._commit_one()
+
+    def resolve(self, addr: int, size: int) -> tuple[str, int | None]:
+        """Store-to-load forwarding, mirroring the store buffer's rules."""
+        for entry in reversed(self._entries):
+            if entry.covers(addr, size):
+                return "hit", entry.extract(addr, size)
+            if entry.overlaps(addr, size):
+                return "conflict", None
+        return "miss", None
+
+
+class ReplayPort:
+    """Engine memory port: withheld FIFO in front of shared replay memory."""
+
+    def __init__(self, memory: PhysicalMemory, withheld: WithheldStores):
+        self._memory = memory
+        self._withheld = withheld
+
+    def load(self, addr: int, size: int) -> int:
+        status, value = self._withheld.resolve(addr, size)
+        if status == "hit":
+            return value  # type: ignore[return-value]
+        if status == "conflict":
+            # Recording drained the store buffer at this exact point.
+            self._withheld.commit_all()
+        if size == 4:
+            return self._memory.read_word(addr)
+        return self._memory.read_byte(addr)
+
+    def store(self, addr: int, size: int, value: int) -> None:
+        self._withheld.push(addr, size, value)
+
+    def fence(self) -> None:
+        self._withheld.commit_all()
+
+    def atomic_load(self, addr: int, size: int) -> int:
+        # The engine fences before atomics, so the FIFO is already empty.
+        if size == 4:
+            return self._memory.read_word(addr)
+        return self._memory.read_byte(addr)
+
+    def atomic_store(self, addr: int, size: int, value: int) -> None:
+        if size == 4:
+            self._memory.write_word(addr, value)
+        else:
+            self._memory.write_byte(addr, value)

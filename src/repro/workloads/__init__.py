@@ -1,0 +1,59 @@
+"""Workloads: SPLASH-2-style kernels and racy microbenchmarks.
+
+The paper evaluates QuickRec on SPLASH-2 with 4 threads. We reproduce the
+suite's *sharing patterns* at laptop scale on the IA-lite ISA:
+
+=============  =======================================================
+``fft``        barrier-separated butterfly stages (all-to-all shuffle)
+``lu``         blocked elimination, row-partitioned, barrier per step
+``radix``      per-thread histograms + prefix sum + permute, barriers
+``ocean``      red-black stencil sweeps over a partitioned grid
+``barnes``     n-body force phase: read-shared positions, private writes
+``water``      pairwise interactions with per-molecule spinlocks
+``raytrace``   self-scheduling task queue via an atomic ticket counter
+``fmm``        tree build (locks) + upward accumulation (barriers)
+``cholesky``   column pipeline over point-to-point ready flags
+``radiosity``  work stealing from per-thread locked deques
+=============  =======================================================
+
+plus microbenchmarks (``counter``, ``pingpong``, ``dekker``, ``prodcons``,
+``locks``, ``sigping``, ``iobound``, ``repcopy``) that stress single
+recorder mechanisms. Every workload is registered in
+:data:`~repro.workloads.base.REGISTRY` and reachable as
+``workloads.build("fft", threads=4)``.
+"""
+
+from .base import (
+    REGISTRY,
+    Workload,
+    WorkloadHarness,
+    all_names,
+    build,
+    get,
+    micro_names,
+    splash_names,
+)
+
+# Importing the modules registers their workloads.
+from . import micro  # noqa: E402,F401
+from . import fft  # noqa: E402,F401
+from . import lu  # noqa: E402,F401
+from . import radix  # noqa: E402,F401
+from . import ocean  # noqa: E402,F401
+from . import barnes  # noqa: E402,F401
+from . import water  # noqa: E402,F401
+from . import raytrace  # noqa: E402,F401
+from . import fmm  # noqa: E402,F401
+from . import cholesky  # noqa: E402,F401
+from . import radiosity  # noqa: E402,F401
+
+__all__ = [
+    "REGISTRY",
+    "Workload",
+    "WorkloadHarness",
+    "all_names",
+    "build",
+    "get",
+    "micro_names",
+    "splash_names",
+]

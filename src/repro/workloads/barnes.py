@@ -1,0 +1,98 @@
+"""barnes — n-body force phase: read-shared positions, private writes.
+
+The sharing skeleton of SPLASH-2 Barnes-Hut without the tree: each
+iteration, every thread computes "forces" on its particles by reading
+*all* particle positions (heavily read-shared), then a barrier, then each
+thread integrates its own particles (writing the shared position array the
+others will read next iteration). The interaction is cheap integer mixing;
+the migration of lines between read-shared and written states per
+iteration is the point.
+"""
+
+from __future__ import annotations
+
+from ..isa.program import Program
+from . import data
+from .base import Workload, WorkloadHarness, register
+
+_BASE_PARTICLES = 64
+_BASE_ITERS = 2
+
+
+def _build_barnes(threads: int, scale: int) -> tuple[Program, dict[str, bytes]]:
+    particles = _BASE_PARTICLES * scale
+    iters = _BASE_ITERS + (scale - 1)
+    block = particles // threads
+    h = WorkloadHarness(threads, "barnes")
+    b = h.b
+    b.words("pos", data.words(seed=51, count=particles, modulus=1 << 20))
+    b.space("force", particles * 4)
+    h.emit_main(epilogue=lambda: h.emit_checksum_write("pos", particles))
+
+    b.label("body")
+    b.ins("mov", "r11", "rdi")
+    b.ins("mov", "r2", "r11")
+    b.ins("mul", "r2", "r2", block)
+    b.ins("add", "r3", "r2", block)
+    if particles % threads:
+        with b.if_equal("r11", threads - 1):
+            b.ins("mov", "r3", particles)
+
+    b.ins("mov", "r14", 0)
+    iter_loop = b.fresh("bn_iter")
+    iter_done = b.fresh("bn_done")
+    b.label(iter_loop)
+    b.ins("cmp", "r14", iters)
+    b.ins("jge", iter_done)
+    # force phase: force[i] = mix of pos[i] against every pos[j]
+    b.ins("mov", "r6", "r2")
+    i_loop = b.fresh("bn_i")
+    i_done = b.fresh("bn_i_done")
+    b.label(i_loop)
+    b.ins("cmp", "r6", "r3")
+    b.ins("jge", i_done)
+    b.ins("load", "r8", "[pos + r6*4]")
+    b.ins("mov", "r9", 0)                        # accumulator
+    j_loop = b.fresh("bn_j")
+    j_done = b.fresh("bn_j_done")
+    b.ins("mov", "r7", 0)
+    b.label(j_loop)
+    b.ins("cmp", "r7", particles)
+    b.ins("jge", j_done)
+    b.ins("load", "r5", "[pos + r7*4]")
+    b.ins("sub", "r5", "r5", "r8")               # "distance"
+    b.ins("sar", "r5", "r5", 6)                  # soften
+    b.ins("add", "r9", "r9", "r5")
+    b.ins("add", "r7", "r7", 1)
+    b.ins("jmp", j_loop)
+    b.label(j_done)
+    b.ins("store", "[force + r6*4]", "r9")
+    b.ins("add", "r6", "r6", 1)
+    b.ins("jmp", i_loop)
+    b.label(i_done)
+    h.barrier()
+    # integrate phase: pos[i] += force[i] (write what others will read)
+    b.ins("mov", "r6", "r2")
+    u_loop = b.fresh("bn_u")
+    u_done = b.fresh("bn_u_done")
+    b.label(u_loop)
+    b.ins("cmp", "r6", "r3")
+    b.ins("jge", u_done)
+    b.ins("load", "r8", "[pos + r6*4]")
+    b.ins("load", "r9", "[force + r6*4]")
+    b.ins("add", "r8", "r8", "r9")
+    b.ins("and", "r8", "r8", (1 << 20) - 1)
+    b.ins("store", "[pos + r6*4]", "r8")
+    b.ins("add", "r6", "r6", 1)
+    b.ins("jmp", u_loop)
+    b.label(u_done)
+    h.barrier()
+    b.ins("add", "r14", "r14", 1)
+    b.ins("jmp", iter_loop)
+    b.label(iter_done)
+    b.ins("ret")
+    return h.build(), {}
+
+
+register(Workload("barnes", "n-body force phase, read-shared positions",
+                  "splash", _build_barnes))

@@ -1,0 +1,207 @@
+"""Workload abstraction and the shared parallel harness.
+
+Every workload provides a builder function ``(threads, scale) -> (Program,
+input_files)`` and registers itself. :class:`WorkloadHarness` supplies the
+boilerplate all SPLASH-style kernels share:
+
+- per-thread stacks in the data segment;
+- a ``main`` that spawns ``threads - 1`` workers, runs the body itself as
+  thread 0, then joins on a futex-backed done counter;
+- a worker entry that calls the body (thread id in ``rdi``) and signals
+  completion;
+- a result checksum written to stdout so every run produces output (and so
+  replay verification covers the write path).
+
+The body is emitted as a function: it receives its thread id in ``rdi``
+and must return with ``ret``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import WorkloadError
+from ..isa.builder import (
+    KernelBuilder,
+    SYS_EXIT,
+    SYS_FUTEX_WAIT,
+    SYS_FUTEX_WAKE,
+    SYS_READ,
+    SYS_WRITE,
+)
+from ..isa.program import Program
+
+BuilderFn = Callable[[int, int], tuple[Program, dict[str, bytes]]]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A registered, buildable workload."""
+
+    name: str
+    description: str
+    category: str  # "splash" or "micro"
+    builder: BuilderFn
+    default_threads: int = 4
+
+    def build(self, threads: int | None = None,
+              scale: int = 1) -> tuple[Program, dict[str, bytes]]:
+        if threads is None:
+            threads = self.default_threads
+        if threads < 1:
+            raise WorkloadError(f"{self.name}: need at least one thread")
+        if scale < 1:
+            raise WorkloadError(f"{self.name}: scale must be >= 1")
+        return self.builder(threads, scale)
+
+
+REGISTRY: dict[str, Workload] = {}
+
+
+def register(workload: Workload) -> Workload:
+    if workload.name in REGISTRY:
+        raise WorkloadError(f"workload {workload.name!r} already registered")
+    REGISTRY[workload.name] = workload
+    return workload
+
+
+def get(name: str) -> Workload:
+    workload = REGISTRY.get(name)
+    if workload is None:
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: {sorted(REGISTRY)}")
+    return workload
+
+
+def build(name: str, threads: int | None = None,
+          scale: int = 1) -> tuple[Program, dict[str, bytes]]:
+    return get(name).build(threads=threads, scale=scale)
+
+
+def all_names() -> list[str]:
+    return sorted(REGISTRY)
+
+
+def splash_names() -> list[str]:
+    return sorted(n for n, w in REGISTRY.items() if w.category == "splash")
+
+
+def micro_names() -> list[str]:
+    return sorted(n for n, w in REGISTRY.items() if w.category == "micro")
+
+
+STACK_BYTES = 4096
+
+
+class WorkloadHarness:
+    """KernelBuilder plus the spawn/join/checksum frame."""
+
+    def __init__(self, threads: int, name: str):
+        if threads < 1:
+            raise WorkloadError("threads must be >= 1")
+        self.threads = threads
+        self.name = name
+        self.b = KernelBuilder()
+        self.b.word("__done", 0)
+        self.b.word("__bar", 0, 0)
+        self.b.space("__stacks", threads * STACK_BYTES)
+        self.b.space("__out", 64)
+
+    # -- the standard frame --------------------------------------------------
+
+    def emit_main(self, body_label: str = "body",
+                  prologue: Callable[[], None] | None = None,
+                  epilogue: Callable[[], None] | None = None) -> None:
+        """Emit ``main`` (spawn, run as tid 0, join) and the worker entry.
+
+        ``prologue`` runs before spawning (e.g. read input files);
+        ``epilogue`` runs after the join, before the checksum exit.
+        """
+        b = self.b
+        b.label("main")
+        if prologue is not None:
+            prologue()
+        # Spawn workers 1..threads-1.
+        for tid in range(1, self.threads):
+            b.ins("mov", "r9", "__stacks")
+            b.ins("add", "r9", "r9", (tid + 1) * STACK_BYTES - 16)
+            b.ins("mov", "r1", "__worker")
+            b.ins("mov", "r2", "r9")
+            b.ins("mov", "r3", tid)
+            b.ins("mov", "rax", 4)  # SYS_SPAWN
+            b.ins("syscall")
+        # Main runs the body as thread 0.
+        b.ins("mov", "rdi", 0)
+        b.ins("call", body_label)
+        # Join: wait until __done == threads - 1.
+        join = b.fresh("join")
+        joined = b.fresh("joined")
+        b.label(join)
+        b.ins("load", "r7", "[__done]")
+        b.ins("cmp", "r7", self.threads - 1)
+        b.ins("jge", joined)
+        b.syscall(SYS_FUTEX_WAIT, "__done", "r7")
+        b.ins("jmp", join)
+        b.label(joined)
+        if epilogue is not None:
+            epilogue()
+        b.exit(0)
+
+        # Worker entry: body(tid), bump done counter, wake main, exit.
+        b.label("__worker")
+        b.ins("call", body_label)
+        b.ins("mov", "r12", 1)
+        b.ins("xadd", "[__done]", "r12")
+        b.syscall(SYS_FUTEX_WAKE, "__done", self.threads)
+        b.exit(0)
+
+    def emit_checksum_write(self, array_symbol: str, words: int,
+                            stride_words: int = 1) -> None:
+        """Sum ``words`` words of ``array_symbol`` and write the result
+        (and the word count) to stdout. Call from an epilogue."""
+        b = self.b
+        b.ins("mov", "r5", 0)
+        step = max(1, stride_words)
+        with b.for_range("r6", 0, words, step):
+            b.ins("load", "r7", f"[{array_symbol} + r6*4]")
+            b.ins("add", "r5", "r5", "r7")
+        b.ins("store", "[__out]", "r5")
+        b.ins("store", "[__out + 4]", words)
+        b.write(1, "__out", 8)
+
+    def emit_read_file(self, fd_reg: str, path_symbol: str,
+                       dest_symbol: str, total_bytes: int,
+                       chunk_bytes: int = 1024) -> None:
+        """Open ``path_symbol`` and read ``total_bytes`` into
+        ``dest_symbol`` in ``chunk_bytes`` pieces (each read is one logged
+        copy-to-user event). Call from a prologue. Clobbers r1-r4, rax,
+        r13, r14."""
+        b = self.b
+        b.syscall(10, path_symbol)  # SYS_OPEN
+        b.ins("mov", fd_reg, "rax")
+        b.ins("mov", "r13", 0)  # offset
+        loop = b.fresh("readloop")
+        done = b.fresh("readdone")
+        b.label(loop)
+        b.ins("cmp", "r13", total_bytes)
+        b.ins("jge", done)
+        b.ins("mov", "r14", dest_symbol)
+        b.ins("add", "r14", "r14", "r13")
+        b.ins("mov", "r1", fd_reg)
+        b.ins("mov", "r2", "r14")
+        b.ins("mov", "r3", chunk_bytes)
+        b.ins("mov", "rax", SYS_READ)
+        b.ins("syscall")
+        b.ins("test", "rax", "rax")
+        b.ins("je", done)
+        b.ins("add", "r13", "r13", "rax")
+        b.ins("jmp", loop)
+        b.label(done)
+
+    def barrier(self, scratch: tuple[str, str] = ("r12", "r13")) -> None:
+        """All-thread sense-reversing barrier on the shared __bar word."""
+        self.b.barrier("__bar", self.threads, scratch=scratch)
+
+    def build(self) -> Program:
+        return self.b.build(self.name)

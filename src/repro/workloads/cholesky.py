@@ -1,0 +1,95 @@
+"""cholesky — column pipeline with point-to-point ready flags.
+
+The dependency structure of SPLASH-2 Cholesky without the sparse
+supernodes: column ``j`` can only be finished after consuming every column
+``k < j``, and columns are owned round-robin — so threads synchronize
+*pairwise* through per-column ready flags rather than global barriers.
+Under TSO the publish is a plain store (data stores precede the flag store
+in program order, and the store buffer drains in order), making this the
+suite's release/acquire-flavoured workload: long producer/consumer chains,
+RAW conflicts on flag and column lines, no barriers at all.
+"""
+
+from __future__ import annotations
+
+from ..isa.program import Program
+from . import data
+from .base import Workload, WorkloadHarness, register
+
+_BASE_N = 16
+
+
+def _build_cholesky(threads: int, scale: int) -> tuple[Program, dict[str, bytes]]:
+    n = _BASE_N + 4 * (scale - 1)
+    h = WorkloadHarness(threads, "cholesky")
+    b = h.b
+    b.words("a", data.words(seed=81, count=n * n, modulus=10_000))
+    b.space("ready", n * 4)
+    h.emit_main(epilogue=lambda: h.emit_checksum_write("a", n * n,
+                                                       stride_words=3))
+
+    b.label("body")
+    b.ins("mov", "r11", "rdi")          # tid
+    b.ins("mov", "r14", 0)              # j (column)
+    col_loop = b.fresh("ch_col")
+    col_done = b.fresh("ch_done")
+    col_skip = b.fresh("ch_skip")
+    b.label(col_loop)
+    b.ins("cmp", "r14", n)
+    b.ins("jge", col_done)
+    b.ins("mod", "r7", "r14", threads)
+    b.ins("cmp", "r7", "r11")
+    b.ins("jne", col_skip)
+    # -- consume every earlier column k ------------------------------------
+    b.ins("mov", "r6", 0)               # k
+    k_loop = b.fresh("ch_k")
+    k_done = b.fresh("ch_kdone")
+    b.label(k_loop)
+    b.ins("cmp", "r6", "r14")
+    b.ins("jge", k_done)
+    wait = b.fresh("ch_wait")
+    b.label(wait)                        # acquire: spin on ready[k]
+    b.ins("pause")
+    b.ins("load", "r7", "[ready + r6*4]")
+    b.ins("test", "r7", "r7")
+    b.ins("je", wait)
+    # factor = a[k][j] | 1 keeps the integer division defined
+    b.ins("mov", "r8", "r6")
+    b.ins("mul", "r8", "r8", n)
+    b.ins("add", "r8", "r8", "r14")      # k*n + j
+    b.ins("load", "r9", "[a + r8*4]")
+    b.ins("or", "r9", "r9", 1)
+    # a[i][j] -= a[i][k] / factor   for i in j..n-1
+    b.ins("mov", "r5", "r14")            # i
+    i_loop = b.fresh("ch_i")
+    i_done = b.fresh("ch_idone")
+    b.label(i_loop)
+    b.ins("cmp", "r5", n)
+    b.ins("jge", i_done)
+    b.ins("mov", "r8", "r5")
+    b.ins("mul", "r8", "r8", n)
+    b.ins("add", "r7", "r8", "r6")       # i*n + k
+    b.ins("load", "r4", "[a + r7*4]")
+    b.ins("div", "r4", "r4", "r9")
+    b.ins("add", "r7", "r8", "r14")      # i*n + j
+    b.ins("load", "r2", "[a + r7*4]")
+    b.ins("sub", "r2", "r2", "r4")
+    b.ins("store", "[a + r7*4]", "r2")
+    b.ins("add", "r5", "r5", 1)
+    b.ins("jmp", i_loop)
+    b.label(i_done)
+    b.ins("add", "r6", "r6", 1)
+    b.ins("jmp", k_loop)
+    b.label(k_done)
+    # -- publish column j (data stores precede the flag under TSO) ----------
+    b.ins("store", "[ready + r14*4]", 1)
+    b.label(col_skip)
+    b.ins("add", "r14", "r14", 1)
+    b.ins("jmp", col_loop)
+    b.label(col_done)
+    b.ins("ret")
+    return h.build(), {}
+
+
+register(Workload("cholesky", "column pipeline over per-column ready flags",
+                  "splash", _build_cholesky))

@@ -1,0 +1,83 @@
+"""fft — barrier-separated butterfly stages.
+
+An in-place integer butterfly network over ``N`` words (the communication
+skeleton of SPLASH-2 FFT): log2(N) stages, each pairing element ``i`` with
+``i + 2^stage``; add/subtract replace the twiddle multiply. Elements are
+block-partitioned, so every stage past log2(N/threads) communicates across
+thread boundaries. Input data arrives through the VFS (logged
+copy-to-user), matching how the real benchmark reads its input set.
+"""
+
+from __future__ import annotations
+
+from ..isa.program import Program
+from . import data
+from .base import Workload, WorkloadHarness, register
+
+_BASE_N = 256
+
+
+def _build_fft(threads: int, scale: int) -> tuple[Program, dict[str, bytes]]:
+    n = _BASE_N << (scale - 1)
+    stages = n.bit_length() - 1
+    block = n // threads
+    h = WorkloadHarness(threads, "fft")
+    b = h.b
+    b.asciz("in_path", "fft.in")
+    b.space("x", n * 4)
+    inputs = {"fft.in": data.words_to_bytes(
+        data.words(seed=11, count=n, modulus=1 << 16))}
+
+    def prologue():
+        h.emit_read_file("r10", "in_path", "x", n * 4)
+
+    h.emit_main(prologue=prologue,
+                epilogue=lambda: h.emit_checksum_write("x", n))
+
+    b.label("body")
+    b.ins("mov", "r11", "rdi")          # tid
+    b.ins("mov", "r2", "r11")
+    b.ins("mul", "r2", "r2", block)     # start
+    b.ins("add", "r3", "r2", block)     # end
+    if n % threads:
+        with b.if_equal("r11", threads - 1):
+            b.ins("mov", "r3", n)
+    b.ins("mov", "r14", 0)              # stage
+    stage_loop = b.fresh("fft_stage")
+    stage_done = b.fresh("fft_done")
+    b.label(stage_loop)
+    b.ins("cmp", "r14", stages)
+    b.ins("jge", stage_done)
+    b.ins("mov", "r10", 1)
+    b.ins("shl", "r10", "r10", "r14")   # stride = 2^stage
+    # butterfly over my block: only indices with the stage bit clear
+    b.ins("mov", "r6", "r2")
+    elem_loop = b.fresh("fft_elem")
+    elem_done = b.fresh("fft_elem_done")
+    skip = b.fresh("fft_skip")
+    b.label(elem_loop)
+    b.ins("cmp", "r6", "r3")
+    b.ins("jge", elem_done)
+    b.ins("and", "r7", "r6", "r10")
+    b.ins("jne", skip)
+    b.ins("add", "r5", "r6", "r10")     # partner index
+    b.ins("load", "r8", "[x + r6*4]")
+    b.ins("load", "r9", "[x + r5*4]")
+    b.ins("add", "r7", "r8", "r9")
+    b.ins("store", "[x + r6*4]", "r7")
+    b.ins("sub", "r7", "r8", "r9")
+    b.ins("store", "[x + r5*4]", "r7")
+    b.label(skip)
+    b.ins("add", "r6", "r6", 1)
+    b.ins("jmp", elem_loop)
+    b.label(elem_done)
+    h.barrier()
+    b.ins("add", "r14", "r14", 1)
+    b.ins("jmp", stage_loop)
+    b.label(stage_done)
+    b.ins("ret")
+    return h.build(), inputs
+
+
+register(Workload("fft", "butterfly stages with all-to-all sharing",
+                  "splash", _build_fft))

@@ -1,0 +1,114 @@
+"""fmm — locked scatter into tree leaves, then barriered upward pass.
+
+A two-phase stand-in for SPLASH-2 FMM's tree traffic:
+
+1. *Scatter*: each thread hashes its bodies into the leaves of a complete
+   binary tree, accumulating under a per-leaf spinlock (irregular,
+   lock-mediated sharing, like FMM's tree construction).
+2. *Upward pass*: level by level, interior nodes are computed from their
+   children; nodes of each level are partitioned round-robin across
+   threads with a barrier between levels (the multipole upward pass).
+   Higher levels have fewer nodes than threads, concentrating conflicts.
+"""
+
+from __future__ import annotations
+
+from ..isa.program import Program
+from . import data
+from .base import Workload, WorkloadHarness, register
+
+_BASE_LEAVES = 64
+_BODIES_PER_THREAD = 96
+
+
+def _build_fmm(threads: int, scale: int) -> tuple[Program, dict[str, bytes]]:
+    leaves = _BASE_LEAVES * scale
+    levels = leaves.bit_length() - 1
+    bodies = _BODIES_PER_THREAD * scale
+    # Heap-style complete tree: node 1 is the root, leaves at [leaves, 2*leaves).
+    nodes = 2 * leaves
+    h = WorkloadHarness(threads, "fmm")
+    b = h.b
+    b.space("tree", nodes * 4)
+    b.space("tlocks", leaves * 4)
+    b.words("bodies", data.words(seed=71, count=bodies * threads,
+                                 modulus=1 << 24))
+    h.emit_main(epilogue=lambda: h.emit_checksum_write("tree", nodes))
+
+    b.label("body")
+    b.ins("mov", "r11", "rdi")
+    # -- phase 1: scatter my bodies into leaves under per-leaf locks --------
+    b.ins("mov", "r2", "r11")
+    b.ins("mul", "r2", "r2", bodies)          # my first body
+    b.ins("add", "r3", "r2", bodies)
+    b.ins("mov", "r6", "r2")
+    scat = b.fresh("fm_scat")
+    scat_done = b.fresh("fm_scat_done")
+    b.label(scat)
+    b.ins("cmp", "r6", "r3")
+    b.ins("jge", scat_done)
+    b.ins("load", "r8", "[bodies + r6*4]")
+    b.ins("and", "r9", "r8", leaves - 1)      # leaf index
+    # acquire tlocks[r9]
+    acquire = b.fresh("fm_try")
+    spin = b.fresh("fm_spin")
+    got = b.fresh("fm_got")
+    b.ins("shl", "r4", "r9", 2)
+    b.label(acquire)
+    b.ins("mov", "r5", 1)
+    b.ins("xchg", "[tlocks + r4]", "r5")
+    b.ins("test", "r5", "r5")
+    b.ins("je", got)
+    b.label(spin)
+    b.ins("pause")
+    b.ins("load", "r5", "[tlocks + r4]")
+    b.ins("test", "r5", "r5")
+    b.ins("jne", spin)
+    b.ins("jmp", acquire)
+    b.label(got)
+    b.ins("add", "r5", "r9", leaves)          # leaf node id
+    b.ins("load", "r7", "[tree + r5*4]")
+    b.ins("shr", "r8", "r8", 8)
+    b.ins("add", "r7", "r7", "r8")
+    b.ins("store", "[tree + r5*4]", "r7")
+    b.ins("store", "[tlocks + r4]", 0)        # release
+    b.ins("add", "r6", "r6", 1)
+    b.ins("jmp", scat)
+    b.label(scat_done)
+    h.barrier()
+
+    # -- phase 2: upward pass, one barrier per level -------------------------
+    # level nodes: [width, 2*width) for width = leaves/2 .. 1
+    b.ins("mov", "r10", leaves // 2)          # width
+    level_loop = b.fresh("fm_level")
+    level_done = b.fresh("fm_level_done")
+    b.label(level_loop)
+    b.ins("test", "r10", "r10")
+    b.ins("je", level_done)
+    # my nodes: width + tid, step threads
+    b.ins("add", "r6", "r10", "r11")
+    node_loop = b.fresh("fm_node")
+    node_done = b.fresh("fm_node_done")
+    b.label(node_loop)
+    b.ins("shl", "r7", "r10", 1)              # 2*width = level end
+    b.ins("cmp", "r6", "r7")
+    b.ins("jge", node_done)
+    b.ins("shl", "r8", "r6", 1)               # left child
+    b.ins("load", "r9", "[tree + r8*4]")
+    b.ins("add", "r8", "r8", 1)
+    b.ins("load", "r5", "[tree + r8*4]")
+    b.ins("add", "r9", "r9", "r5")
+    b.ins("store", "[tree + r6*4]", "r9")
+    b.ins("add", "r6", "r6", threads)
+    b.ins("jmp", node_loop)
+    b.label(node_done)
+    h.barrier()
+    b.ins("shr", "r10", "r10", 1)
+    b.ins("jmp", level_loop)
+    b.label(level_done)
+    b.ins("ret")
+    return h.build(), {}
+
+
+register(Workload("fmm", "locked leaf scatter + barriered upward pass",
+                  "splash", _build_fmm))

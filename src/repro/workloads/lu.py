@@ -1,0 +1,91 @@
+"""lu — dense elimination with interleaved row ownership.
+
+Integer Gaussian elimination over an N x N matrix: step ``k`` eliminates
+column ``k`` from rows ``k+1..N-1``; rows are owned round-robin
+(``row % threads``), so every step all threads read the shared pivot row
+while writing their own rows — the producer/consumer sharing of SPLASH-2
+LU. A barrier separates steps. Pivots are forced odd (``| 1``) so the
+integer division is always defined; the arithmetic is nonsense as algebra
+but the access pattern is exact.
+"""
+
+from __future__ import annotations
+
+from ..isa.program import Program
+from . import data
+from .base import Workload, WorkloadHarness, register
+
+_BASE_N = 20
+
+
+def _build_lu(threads: int, scale: int) -> tuple[Program, dict[str, bytes]]:
+    n = _BASE_N + 4 * (scale - 1)
+    h = WorkloadHarness(threads, "lu")
+    b = h.b
+    b.words("a", data.words(seed=23, count=n * n, modulus=10_000))
+    h.emit_main(epilogue=lambda: h.emit_checksum_write("a", n * n, stride_words=3))
+
+    b.label("body")
+    b.ins("mov", "r11", "rdi")          # tid
+    b.ins("mov", "r14", 0)              # k
+    k_loop = b.fresh("lu_k")
+    k_done = b.fresh("lu_kdone")
+    b.label(k_loop)
+    b.ins("cmp", "r14", n - 1)
+    b.ins("jge", k_done)
+    # pivot = a[k][k] | 1
+    b.ins("mov", "r10", "r14")
+    b.ins("mul", "r10", "r10", n)
+    b.ins("add", "r10", "r10", "r14")   # k*n + k
+    b.ins("load", "r10", "[a + r10*4]")
+    b.ins("or", "r10", "r10", 1)        # pivot, nonzero
+    # rows k+1 .. n-1, mine if row % threads == tid
+    b.ins("add", "r6", "r14", 1)        # row
+    row_loop = b.fresh("lu_row")
+    row_done = b.fresh("lu_rowdone")
+    row_skip = b.fresh("lu_rowskip")
+    b.label(row_loop)
+    b.ins("cmp", "r6", n)
+    b.ins("jge", row_done)
+    b.ins("mod", "r7", "r6", threads)
+    b.ins("cmp", "r7", "r11")
+    b.ins("jne", row_skip)
+    # factor = a[row][k] / pivot
+    b.ins("mov", "r8", "r6")
+    b.ins("mul", "r8", "r8", n)         # row*n
+    b.ins("add", "r7", "r8", "r14")     # row*n + k
+    b.ins("load", "r9", "[a + r7*4]")
+    b.ins("div", "r9", "r9", "r10")     # factor
+    # a[row][j] -= factor * a[k][j]  for j in k..n-1
+    b.ins("mov", "r5", "r14")           # j
+    col_loop = b.fresh("lu_col")
+    col_done = b.fresh("lu_coldone")
+    b.label(col_loop)
+    b.ins("cmp", "r5", n)
+    b.ins("jge", col_done)
+    b.ins("mov", "r7", "r14")
+    b.ins("mul", "r7", "r7", n)
+    b.ins("add", "r7", "r7", "r5")      # k*n + j
+    b.ins("load", "r4", "[a + r7*4]")
+    b.ins("mul", "r4", "r4", "r9")
+    b.ins("add", "r7", "r8", "r5")      # row*n + j
+    b.ins("load", "r2", "[a + r7*4]")
+    b.ins("sub", "r2", "r2", "r4")
+    b.ins("store", "[a + r7*4]", "r2")
+    b.ins("add", "r5", "r5", 1)
+    b.ins("jmp", col_loop)
+    b.label(col_done)
+    b.label(row_skip)
+    b.ins("add", "r6", "r6", 1)
+    b.ins("jmp", row_loop)
+    b.label(row_done)
+    h.barrier()
+    b.ins("add", "r14", "r14", 1)
+    b.ins("jmp", k_loop)
+    b.label(k_done)
+    b.ins("ret")
+    return h.build(), {}
+
+
+register(Workload("lu", "pivot-row elimination, round-robin row ownership",
+                  "splash", _build_lu))

@@ -1,0 +1,349 @@
+"""Microbenchmarks: each stresses one recorder mechanism in isolation.
+
+=============  ==========================================================
+``counter``    atomic contention: every thread xadds one shared word
+``pingpong``   false/true sharing: all threads read-modify-write slots in
+               a single cache line with plain loads/stores
+``dekker``     Peterson mutual exclusion with mfence (store-load ordering
+               under TSO; correctness visible in the checksum)
+``prodcons``   single producer, ticketed consumers over a 16-slot ring
+``locks``      one test-and-test-and-set spinlock guarding a counter
+``sigping``    asynchronous signals: main kills the worker N times, the
+               handler counts deliveries
+``iobound``    syscall-dominated: per-thread file reads + stdout writes
+               (maximal input-log pressure)
+``repcopy``    rep_movs copies racing with scattered stores
+               (mid-instruction chunk boundaries)
+=============  ==========================================================
+"""
+
+from __future__ import annotations
+
+from ..isa.builder import (
+    SYS_KILL,
+    SYS_SIGACTION,
+    SYS_SIGRETURN,
+    SYS_YIELD,
+)
+from ..isa.program import Program
+from . import data
+from .base import Workload, WorkloadHarness, register
+
+
+def _build_counter(threads: int, scale: int) -> tuple[Program, dict[str, bytes]]:
+    iters = 300 * scale
+    h = WorkloadHarness(threads, "counter")
+    b = h.b
+    b.word("counter", 0)
+    h.emit_main(epilogue=lambda: h.emit_checksum_write("counter", 1))
+    b.label("body")
+    with b.for_range("r6", 0, iters):
+        b.ins("mov", "r7", 1)
+        b.ins("xadd", "[counter]", "r7")
+    b.ins("ret")
+    return h.build(), {}
+
+
+def _build_pingpong(threads: int, scale: int) -> tuple[Program, dict[str, bytes]]:
+    iters = 400 * scale
+    h = WorkloadHarness(threads, "pingpong")
+    b = h.b
+    b.align(64)
+    b.word("line", *([0] * 16))  # one 64-byte cache line of slots
+    h.emit_main(epilogue=lambda: h.emit_checksum_write("line", 16))
+    b.label("body")
+    b.ins("mov", "r11", "rdi")
+    b.ins("and", "r11", "r11", 15)
+    with b.for_range("r6", 0, iters):
+        b.ins("load", "r7", "[line + r11*4]")
+        b.ins("add", "r7", "r7", 1)
+        b.ins("store", "[line + r11*4]", "r7")
+    b.ins("ret")
+    return h.build(), {}
+
+
+def _build_dekker(threads: int, scale: int) -> tuple[Program, dict[str, bytes]]:
+    iters = 150 * scale
+    h = WorkloadHarness(2, "dekker")  # Peterson is two-party
+    b = h.b
+    b.word("flag", 0, 0)
+    b.word("turn", 0)
+    b.word("crit", 0)
+    h.emit_main(epilogue=lambda: h.emit_checksum_write("crit", 1))
+    b.label("body")
+    b.ins("mov", "r11", "rdi")          # my id
+    b.ins("mov", "r10", 1)
+    b.ins("sub", "r10", "r10", "r11")   # other id
+    with b.for_range("r6", 0, iters):
+        b.ins("store", "[flag + r11*4]", 1)
+        b.ins("store", "[turn]", "r10")
+        b.ins("mfence")
+        spin = b.fresh("pspin")
+        enter = b.fresh("penter")
+        b.label(spin)
+        b.ins("load", "r7", "[flag + r10*4]")
+        b.ins("test", "r7", "r7")
+        b.ins("je", enter)
+        b.ins("load", "r8", "[turn]")
+        b.ins("cmp", "r8", "r10")
+        b.ins("je", spin)
+        b.label(enter)
+        b.ins("load", "r9", "[crit]")
+        b.ins("add", "r9", "r9", 1)
+        b.ins("store", "[crit]", "r9")
+        b.ins("store", "[flag + r11*4]", 0)
+    b.ins("ret")
+    return h.build(), {}
+
+
+_RING_SLOTS = 16
+
+
+def _build_prodcons(threads: int, scale: int) -> tuple[Program, dict[str, bytes]]:
+    threads = max(threads, 2)
+    consumers = threads - 1
+    per_consumer = 120 * scale
+    total = per_consumer * consumers
+    h = WorkloadHarness(threads, "prodcons")
+    b = h.b
+    b.word("ring", *([0] * _RING_SLOTS))
+    b.word("filled", *([0] * _RING_SLOTS))
+    b.word("ticket", 0)
+    b.word("sums", *([0] * threads))
+    h.emit_main(epilogue=lambda: h.emit_checksum_write("sums", threads))
+    b.label("body")
+    b.ins("mov", "r11", "rdi")
+    consume = b.fresh("consume")
+    out = b.fresh("bodyret")
+    b.ins("test", "r11", "r11")
+    b.ins("jne", consume)
+    # -- producer (thread 0): item i goes to slot i % SLOTS ----------------
+    with b.for_range("r6", 0, total):
+        b.ins("and", "r7", "r6", _RING_SLOTS - 1)
+        wait_empty = b.fresh("wempty")
+        b.label(wait_empty)
+        b.ins("load", "r8", "[filled + r7*4]")
+        b.ins("test", "r8", "r8")
+        go = b.fresh("wgo")
+        b.ins("je", go)
+        b.ins("pause")
+        b.ins("jmp", wait_empty)
+        b.label(go)
+        b.ins("store", "[ring + r7*4]", "r6")
+        b.ins("store", "[filled + r7*4]", 1)  # TSO keeps these ordered
+    b.ins("jmp", out)
+    # -- consumers: claim items with an atomic ticket ------------------------
+    b.label(consume)
+    loop = b.fresh("cloop")
+    b.label(loop)
+    b.ins("mov", "r6", 1)
+    b.ins("xadd", "[ticket]", "r6")     # r6 = my item number
+    b.ins("cmp", "r6", total)
+    b.ins("jge", out)
+    b.ins("and", "r7", "r6", _RING_SLOTS - 1)
+    wait_full = b.fresh("wfull")
+    b.label(wait_full)
+    b.ins("load", "r8", "[filled + r7*4]")
+    b.ins("test", "r8", "r8")
+    take = b.fresh("wtake")
+    b.ins("jne", take)
+    b.ins("pause")
+    b.ins("jmp", wait_full)
+    b.label(take)
+    b.ins("load", "r9", "[ring + r7*4]")
+    b.ins("store", "[filled + r7*4]", 0)
+    b.ins("load", "r8", "[sums + r11*4]")
+    b.ins("add", "r8", "r8", "r9")
+    b.ins("store", "[sums + r11*4]", "r8")
+    b.ins("jmp", loop)
+    b.label(out)
+    b.ins("ret")
+    return h.build(), {}
+
+
+def _build_locks(threads: int, scale: int) -> tuple[Program, dict[str, bytes]]:
+    iters = 100 * scale
+    h = WorkloadHarness(threads, "locks")
+    b = h.b
+    b.word("lock", 0)
+    b.word("crit", 0)
+    h.emit_main(epilogue=lambda: h.emit_checksum_write("crit", 1))
+    b.label("body")
+    with b.for_range("r6", 0, iters):
+        b.spin_lock("lock", scratch="r7")
+        b.ins("load", "r8", "[crit]")
+        b.ins("add", "r8", "r8", 1)
+        b.ins("store", "[crit]", "r8")
+        b.spin_unlock("lock")
+    b.ins("ret")
+    return h.build(), {}
+
+
+def _build_sigping(threads: int, scale: int) -> tuple[Program, dict[str, bytes]]:
+    pings = 20 * scale
+    h = WorkloadHarness(2, "sigping")
+    b = h.b
+    b.word("acks", 0)
+    b.word("sig_ready", 0)
+    h.emit_main(epilogue=lambda: h.emit_checksum_write("acks", 1))
+    b.label("body")
+    b.ins("mov", "r11", "rdi")
+    worker = b.fresh("sig_worker")
+    out = b.fresh("sig_out")
+    b.ins("test", "r11", "r11")
+    b.ins("jne", worker)
+    # -- main: wait for the handler to be registered, then fire N signals
+    # at the worker (tid 2), yielding between ------------------------------
+    ready = b.fresh("sig_ready_spin")
+    b.label(ready)
+    b.ins("pause")
+    b.ins("load", "r7", "[sig_ready]")
+    b.ins("test", "r7", "r7")
+    b.ins("je", ready)
+    with b.for_range("r6", 0, pings):
+        b.ins("push", "r6")
+        b.syscall(SYS_KILL, 2, 10)
+        b.syscall(SYS_YIELD)
+        b.ins("pop", "r6")
+    # wait until all delivered
+    wait = b.fresh("sig_wait")
+    b.label(wait)
+    b.ins("load", "r7", "[acks]")
+    b.ins("cmp", "r7", pings)
+    done = b.fresh("sig_done")
+    b.ins("jge", done)
+    b.syscall(SYS_YIELD)
+    b.ins("jmp", wait)
+    b.label(done)
+    b.ins("jmp", out)
+    # -- worker: register handler, spin until all signals arrive ------------
+    b.label(worker)
+    b.syscall(SYS_SIGACTION, 10, "sig_handler")
+    b.ins("store", "[sig_ready]", 1)
+    spin = b.fresh("sig_spin")
+    b.label(spin)
+    b.ins("pause")
+    b.ins("load", "r7", "[acks]")
+    b.ins("cmp", "r7", pings)
+    b.ins("jl", spin)
+    b.label(out)
+    b.ins("ret")
+    b.label("sig_handler")
+    b.ins("load", "r7", "[acks]")
+    b.ins("add", "r7", "r7", 1)
+    b.ins("store", "[acks]", "r7")
+    b.syscall(SYS_SIGRETURN)
+    return h.build(), {}
+
+
+def _build_iobound(threads: int, scale: int) -> tuple[Program, dict[str, bytes]]:
+    words_per_thread = 512 * scale
+    bytes_per_thread = words_per_thread * 4
+    h = WorkloadHarness(threads, "iobound")
+    b = h.b
+    inputs: dict[str, bytes] = {}
+    for tid in range(threads):
+        b.asciz(f"path_{tid}", f"in_{tid}")
+        inputs[f"in_{tid}"] = data.words_to_bytes(
+            data.words(seed=100 + tid, count=words_per_thread, modulus=1000))
+    b.space("iobuf", threads * bytes_per_thread)
+    b.word("sums", *([0] * threads))
+    h.emit_main(epilogue=lambda: h.emit_checksum_write("sums", threads))
+    b.label("body")
+    b.ins("mov", "r11", "rdi")
+    # open my file: path table is laid out contiguously (each "in_N" is 5
+    # bytes incl NUL), so compute the address arithmetically via a jump
+    # table instead: dispatch per tid.
+    done_open = b.fresh("io_opened")
+    for tid in range(threads):
+        skip = b.fresh("io_next")
+        b.ins("cmp", "r11", tid)
+        b.ins("jne", skip)
+        b.syscall(10, f"path_{tid}")  # SYS_OPEN
+        b.ins("jmp", done_open)
+        b.label(skip)
+    b.label(done_open)
+    b.ins("mov", "r10", "rax")  # fd
+    # read in 128-byte chunks into my region, summing as we go
+    b.ins("mov", "r9", "iobuf")
+    b.ins("mov", "r8", "r11")
+    b.ins("mul", "r8", "r8", bytes_per_thread)
+    b.ins("add", "r9", "r9", "r8")  # my region base
+    b.ins("mov", "r14", 0)  # offset
+    loop = b.fresh("io_loop")
+    done = b.fresh("io_done")
+    b.label(loop)
+    b.ins("cmp", "r14", bytes_per_thread)
+    b.ins("jge", done)
+    b.ins("mov", "r1", "r10")
+    b.ins("add", "r2", "r9", "r14")
+    b.ins("mov", "r3", 128)
+    b.ins("mov", "rax", 3)  # SYS_READ
+    b.ins("syscall")
+    b.ins("test", "rax", "rax")
+    b.ins("je", done)
+    b.ins("add", "r14", "r14", "rax")
+    b.ins("jmp", loop)
+    b.label(done)
+    # sum my region
+    b.ins("mov", "r8", 0)
+    with b.for_range("r6", 0, words_per_thread):
+        b.ins("shl", "r7", "r6", 2)
+        b.ins("add", "r7", "r7", "r9")
+        b.ins("load", "r7", "[r7]")
+        b.ins("add", "r8", "r8", "r7")
+    b.ins("store", "[sums + r11*4]", "r8")
+    b.ins("ret")
+    return h.build(), inputs
+
+
+def _build_repcopy(threads: int, scale: int) -> tuple[Program, dict[str, bytes]]:
+    block_words = 256
+    rounds = 4 * scale
+    h = WorkloadHarness(threads, "repcopy")
+    b = h.b
+    b.words("src", data.words(seed=7, count=block_words, modulus=10_000))
+    b.space("dst", block_words * 4)
+    h.emit_main(epilogue=lambda: h.emit_checksum_write("dst", block_words))
+    b.label("body")
+    b.ins("mov", "r11", "rdi")
+    with b.for_range("r14", 0, rounds):
+        # Even tids bulk-copy with rep_movs; odd tids scatter stores into
+        # the same destination — conflicts land inside the rep instruction.
+        b.ins("and", "r7", "r11", 1)
+        scatter = b.fresh("rc_scatter")
+        next_round = b.fresh("rc_next")
+        b.ins("test", "r7", "r7")
+        b.ins("jne", scatter)
+        b.ins("mov", "rcx", block_words)
+        b.ins("mov", "rsi", "src")
+        b.ins("mov", "rdi", "dst")
+        b.ins("rep_movs")
+        b.ins("jmp", next_round)
+        b.label(scatter)
+        with b.for_range("r6", 0, block_words):
+            b.ins("and", "r8", "r6", block_words - 1)
+            b.ins("store", "[dst + r8*4]", "r6")
+        b.label(next_round)
+        # rdi was clobbered by rep_movs/loop scratch; restore the tid
+        b.ins("mov", "rdi", "r11")
+    b.ins("ret")
+    return h.build(), {}
+
+
+register(Workload("counter", "atomic xadd contention on one word",
+                  "micro", _build_counter))
+register(Workload("pingpong", "plain-store sharing inside one cache line",
+                  "micro", _build_pingpong))
+register(Workload("dekker", "Peterson mutual exclusion with mfence",
+                  "micro", _build_dekker, default_threads=2))
+register(Workload("prodcons", "single producer, ticketed consumers",
+                  "micro", _build_prodcons))
+register(Workload("locks", "spinlock-guarded critical section",
+                  "micro", _build_locks))
+register(Workload("sigping", "asynchronous signal delivery storm",
+                  "micro", _build_sigping, default_threads=2))
+register(Workload("iobound", "syscall-dominated file reads and writes",
+                  "micro", _build_iobound))
+register(Workload("repcopy", "rep_movs bulk copies racing scattered stores",
+                  "micro", _build_repcopy))

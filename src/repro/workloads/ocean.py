@@ -1,0 +1,97 @@
+"""ocean — red-black stencil sweeps over a row-partitioned grid.
+
+The nearest-neighbour sharing of SPLASH-2 Ocean: a G x G integer grid,
+interior cells relaxed to the mean of their four neighbours, in red/black
+half-sweeps with a barrier after each. Threads own contiguous row bands,
+so all steady-state communication is at band edges — the lowest
+conflict-rate pattern in the suite.
+"""
+
+from __future__ import annotations
+
+from ..isa.program import Program
+from . import data
+from .base import Workload, WorkloadHarness, register
+
+_BASE_GRID = 18
+_BASE_SWEEPS = 3
+
+
+def _build_ocean(threads: int, scale: int) -> tuple[Program, dict[str, bytes]]:
+    grid = _BASE_GRID + 4 * (scale - 1)
+    sweeps = _BASE_SWEEPS + (scale - 1)
+    interior = grid - 2
+    rows_per_thread = interior // threads
+    h = WorkloadHarness(threads, "ocean")
+    b = h.b
+    b.words("g", data.words(seed=41, count=grid * grid, modulus=4096))
+    h.emit_main(epilogue=lambda: h.emit_checksum_write("g", grid * grid,
+                                                       stride_words=5))
+
+    b.label("body")
+    b.ins("mov", "r11", "rdi")
+    # my row band: [1 + tid*rows, 1 + (tid+1)*rows), last thread to grid-1
+    b.ins("mov", "r2", "r11")
+    b.ins("mul", "r2", "r2", rows_per_thread)
+    b.ins("add", "r2", "r2", 1)                  # first row
+    b.ins("add", "r3", "r2", rows_per_thread)    # last row (exclusive)
+    with b.if_equal("r11", threads - 1):
+        b.ins("mov", "r3", grid - 1)
+
+    b.ins("mov", "r14", 0)                       # sweep counter
+    sweep_loop = b.fresh("oc_sweep")
+    sweep_done = b.fresh("oc_done")
+    b.label(sweep_loop)
+    b.ins("cmp", "r14", 2 * sweeps)              # two colors per sweep
+    b.ins("jge", sweep_done)
+    b.ins("and", "r10", "r14", 1)                # color of this half-sweep
+    b.ins("mov", "r6", "r2")                     # row
+    row_loop = b.fresh("oc_row")
+    row_done = b.fresh("oc_row_done")
+    b.label(row_loop)
+    b.ins("cmp", "r6", "r3")
+    b.ins("jge", row_done)
+    b.ins("mov", "r8", "r6")
+    b.ins("mul", "r8", "r8", grid)               # row base index
+    b.ins("mov", "r7", 1)                        # col
+    col_loop = b.fresh("oc_col")
+    col_done = b.fresh("oc_col_done")
+    col_skip = b.fresh("oc_col_skip")
+    b.label(col_loop)
+    b.ins("cmp", "r7", grid - 1)
+    b.ins("jge", col_done)
+    b.ins("add", "r9", "r6", "r7")
+    b.ins("and", "r9", "r9", 1)
+    b.ins("cmp", "r9", "r10")
+    b.ins("jne", col_skip)
+    b.ins("add", "r9", "r8", "r7")               # row*grid + col
+    b.ins("sub", "r5", "r9", grid)
+    b.ins("load", "r4", "[g + r5*4]")            # up
+    b.ins("add", "r5", "r9", grid)
+    b.ins("load", "r5", "[g + r5*4]")            # down
+    b.ins("add", "r4", "r4", "r5")
+    b.ins("sub", "r5", "r9", 1)
+    b.ins("load", "r5", "[g + r5*4]")            # left
+    b.ins("add", "r4", "r4", "r5")
+    b.ins("add", "r5", "r9", 1)
+    b.ins("load", "r5", "[g + r5*4]")            # right
+    b.ins("add", "r4", "r4", "r5")
+    b.ins("shr", "r4", "r4", 2)
+    b.ins("store", "[g + r9*4]", "r4")
+    b.label(col_skip)
+    b.ins("add", "r7", "r7", 1)
+    b.ins("jmp", col_loop)
+    b.label(col_done)
+    b.ins("add", "r6", "r6", 1)
+    b.ins("jmp", row_loop)
+    b.label(row_done)
+    h.barrier()
+    b.ins("add", "r14", "r14", 1)
+    b.ins("jmp", sweep_loop)
+    b.label(sweep_done)
+    b.ins("ret")
+    return h.build(), {}
+
+
+register(Workload("ocean", "red-black stencil with edge sharing",
+                  "splash", _build_ocean))

@@ -1,0 +1,155 @@
+"""radix — parallel radix sort (histogram, prefix, permute; barriers).
+
+The SPLASH-2 radix structure: per digit pass, each thread histograms its
+block of keys, a sequential prefix sum over all (thread, bucket) pairs
+computes scatter offsets, and each thread permutes its keys into the
+destination array using its private offset row. Keys arrive through the
+VFS like the real benchmark's input set. Four 4-bit passes sort 16-bit
+keys; the checksum is order-sensitive (sum of key*index) so a broken sort
+is visible.
+"""
+
+from __future__ import annotations
+
+from ..isa.program import Program
+from . import data
+from .base import Workload, WorkloadHarness, register
+
+_BASE_KEYS = 256
+_BUCKETS = 16
+_PASSES = 4
+
+
+def _build_radix(threads: int, scale: int) -> tuple[Program, dict[str, bytes]]:
+    n = _BASE_KEYS * scale
+    block = n // threads
+    h = WorkloadHarness(threads, "radix")
+    b = h.b
+    b.asciz("in_path", "radix.in")
+    b.space("keys0", n * 4)
+    b.space("keys1", n * 4)
+    b.space("hist", threads * _BUCKETS * 4)   # per-thread bucket counts
+    b.space("offs", threads * _BUCKETS * 4)   # scatter offsets after prefix
+    b.word("rank_out", 0)
+    inputs = {"radix.in": data.words_to_bytes(
+        data.words(seed=31, count=n, modulus=1 << 16))}
+
+    def prologue():
+        h.emit_read_file("r10", "in_path", "keys0", n * 4)
+
+    def epilogue():
+        # order-sensitive checksum: sum key[i] * (i + 1) over the sorted array
+        b.ins("mov", "r5", 0)
+        with b.for_range("r6", 0, n):
+            b.ins("load", "r7", "[keys0 + r6*4]")
+            b.ins("add", "r8", "r6", 1)
+            b.ins("mul", "r7", "r7", "r8")
+            b.ins("add", "r5", "r5", "r7")
+        b.ins("store", "[__out]", "r5")
+        b.write(1, "__out", 4)
+
+    h.emit_main(prologue=prologue, epilogue=epilogue)
+
+    b.label("body")
+    b.ins("mov", "r11", "rdi")
+    b.ins("mov", "r2", "r11")
+    b.ins("mul", "r2", "r2", block)       # my start
+    b.ins("add", "r3", "r2", block)       # my end
+    if n % threads:
+        with b.if_equal("r11", threads - 1):
+            b.ins("mov", "r3", n)
+    b.ins("mov", "r14", 0)                # pass
+
+    pass_loop = b.fresh("rx_pass")
+    pass_done = b.fresh("rx_done")
+    b.label(pass_loop)
+    b.ins("cmp", "r14", _PASSES)
+    b.ins("jge", pass_done)
+    b.ins("shl", "r10", "r14", 2)         # shift = pass * 4
+    # src/dst base selection by pass parity: even -> keys0->keys1
+    b.ins("and", "r7", "r14", 1)
+    even = b.fresh("rx_even")
+    picked = b.fresh("rx_picked")
+    b.ins("je", even)
+    b.ins("mov", "r4", "keys1")           # src
+    b.ins("mov", "r5", "keys0")           # dst
+    b.ins("jmp", picked)
+    b.label(even)
+    b.ins("mov", "r4", "keys0")
+    b.ins("mov", "r5", "keys1")
+    b.label(picked)
+
+    # 1) zero my histogram row, then count digits in my block
+    b.ins("mov", "r8", "r11")
+    b.ins("mul", "r8", "r8", _BUCKETS)    # my hist row base index
+    with b.for_range("r6", 0, _BUCKETS):
+        b.ins("add", "r7", "r8", "r6")
+        b.ins("store", "[hist + r7*4]", 0)
+    b.ins("mov", "r6", "r2")
+    count = b.fresh("rx_count")
+    count_done = b.fresh("rx_count_done")
+    b.label(count)
+    b.ins("cmp", "r6", "r3")
+    b.ins("jge", count_done)
+    b.ins("shl", "r7", "r6", 2)
+    b.ins("add", "r7", "r7", "r4")
+    b.ins("load", "r7", "[r7]")           # key
+    b.ins("shr", "r7", "r7", "r10")
+    b.ins("and", "r7", "r7", _BUCKETS - 1)
+    b.ins("add", "r7", "r7", "r8")
+    b.ins("load", "r9", "[hist + r7*4]")
+    b.ins("add", "r9", "r9", 1)
+    b.ins("store", "[hist + r7*4]", "r9")
+    b.ins("add", "r6", "r6", 1)
+    b.ins("jmp", count)
+    b.label(count_done)
+    h.barrier()
+
+    # 2) thread 0: prefix sum in (bucket-major, thread-minor) order
+    not_zero = b.fresh("rx_notzero")
+    b.ins("test", "r11", "r11")
+    b.ins("jne", not_zero)
+    b.ins("mov", "r9", 0)                 # running total
+    with b.for_range("r6", 0, _BUCKETS):
+        with b.for_range("r7", 0, threads):
+            b.ins("mov", "r1", "r7")
+            b.ins("mul", "r1", "r1", _BUCKETS)
+            b.ins("add", "r1", "r1", "r6")      # hist[t][d] index
+            b.ins("store", "[offs + r1*4]", "r9")
+            b.ins("load", "r0", "[hist + r1*4]")
+            b.ins("add", "r9", "r9", "r0")
+    b.label(not_zero)
+    h.barrier()
+
+    # 3) scatter my keys using my offset row (private after the prefix)
+    b.ins("mov", "r6", "r2")
+    scatter = b.fresh("rx_scat")
+    scatter_done = b.fresh("rx_scat_done")
+    b.label(scatter)
+    b.ins("cmp", "r6", "r3")
+    b.ins("jge", scatter_done)
+    b.ins("shl", "r7", "r6", 2)
+    b.ins("add", "r7", "r7", "r4")
+    b.ins("load", "r9", "[r7]")           # key
+    b.ins("shr", "r7", "r9", "r10")
+    b.ins("and", "r7", "r7", _BUCKETS - 1)
+    b.ins("add", "r7", "r7", "r8")        # offs[tid][digit] index
+    b.ins("load", "r1", "[offs + r7*4]")
+    b.ins("add", "r0", "r1", 1)
+    b.ins("store", "[offs + r7*4]", "r0")
+    b.ins("shl", "r1", "r1", 2)
+    b.ins("add", "r1", "r1", "r5")
+    b.ins("store", "[r1]", "r9")
+    b.ins("add", "r6", "r6", 1)
+    b.ins("jmp", scatter)
+    b.label(scatter_done)
+    h.barrier()
+    b.ins("add", "r14", "r14", 1)
+    b.ins("jmp", pass_loop)
+    b.label(pass_done)
+    b.ins("ret")
+    return h.build(), inputs
+
+
+register(Workload("radix", "histogram + prefix + permute radix sort",
+                  "splash", _build_radix))

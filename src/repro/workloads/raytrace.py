@@ -1,0 +1,95 @@
+"""raytrace — self-scheduling task queue over an atomic ticket counter.
+
+The work-stealing-ish structure of SPLASH-2 Raytrace/Radiosity: pixels are
+claimed from a shared ticket counter with ``xadd``; each pixel runs an
+independent integer escape-time iteration (a small Mandelbrot, standing in
+for ray intersection math) and writes its own output word. Thread 0
+reports progress with a write() per row band, sprinkling syscalls through
+the run the way the original's I/O does.
+"""
+
+from __future__ import annotations
+
+from ..isa.program import Program
+from .base import Workload, WorkloadHarness, register
+
+_BASE_SIDE = 16
+_MAX_ESCAPE = 24
+
+
+def _build_raytrace(threads: int, scale: int) -> tuple[Program, dict[str, bytes]]:
+    side = _BASE_SIDE * scale
+    pixels = side * side
+    h = WorkloadHarness(threads, "raytrace")
+    b = h.b
+    b.word("ticket", 0)
+    b.space("image", pixels * 4)
+    b.word("progress", 0)
+    h.emit_main(epilogue=lambda: h.emit_checksum_write("image", pixels,
+                                                       stride_words=3))
+
+    b.label("body")
+    b.ins("mov", "r11", "rdi")
+    claim = b.fresh("rt_claim")
+    out = b.fresh("rt_out")
+    b.label(claim)
+    b.ins("mov", "r6", 1)
+    b.ins("xadd", "[ticket]", "r6")       # r6 = my pixel
+    b.ins("cmp", "r6", pixels)
+    b.ins("jge", out)
+    # pixel coordinates scaled to fixed point around the origin
+    b.ins("mod", "r7", "r6", side)        # x
+    b.ins("div", "r8", "r6", side)        # y
+    b.ins("sub", "r7", "r7", side // 2)
+    b.ins("sub", "r8", "r8", side // 2)
+    b.ins("shl", "r7", "r7", 5)           # cx (fixed point <<8 total /8)
+    b.ins("shl", "r8", "r8", 5)           # cy
+    b.ins("mov", "r9", 0)                 # zx
+    b.ins("mov", "r10", 0)                # zy
+    b.ins("mov", "r5", 0)                 # iterations
+    escape = b.fresh("rt_iter")
+    hit = b.fresh("rt_hit")
+    b.label(escape)
+    b.ins("cmp", "r5", _MAX_ESCAPE)
+    b.ins("jge", hit)
+    # zx' = (zx^2 - zy^2)>>8 + cx ; zy' = (2*zx*zy)>>8 + cy
+    b.ins("mul", "r4", "r9", "r9")
+    b.ins("mul", "r2", "r10", "r10")
+    b.ins("sub", "r4", "r4", "r2")
+    b.ins("sar", "r4", "r4", 8)
+    b.ins("add", "r4", "r4", "r7")
+    b.ins("mul", "r2", "r9", "r10")
+    b.ins("sar", "r2", "r2", 7)
+    b.ins("add", "r10", "r2", "r8")
+    b.ins("mov", "r9", "r4")
+    # escaped if |zx| > 2<<8
+    b.ins("mul", "r2", "r9", "r9")
+    b.ins("mul", "r3", "r10", "r10")
+    b.ins("add", "r2", "r2", "r3")
+    b.ins("cmp", "r2", (4 << 16))
+    b.ins("ja", hit)
+    b.ins("add", "r5", "r5", 1)
+    b.ins("jmp", escape)
+    b.label(hit)
+    b.ins("store", "[image + r6*4]", "r5")
+    # thread 0 reports progress once per completed row-band
+    if side >= 8:
+        no_report = b.fresh("rt_norep")
+        b.ins("test", "r11", "r11")
+        b.ins("jne", no_report)
+        b.ins("mod", "r2", "r6", side * 4)
+        b.ins("test", "r2", "r2")
+        b.ins("jne", no_report)
+        b.ins("store", "[progress]", "r6")
+        b.ins("push", "r6")
+        b.write(1, "progress", 4)
+        b.ins("pop", "r6")
+        b.label(no_report)
+    b.ins("jmp", claim)
+    b.label(out)
+    b.ins("ret")
+    return h.build(), {}
+
+
+register(Workload("raytrace", "atomic ticket queue of escape-time pixels",
+                  "splash", _build_raytrace))

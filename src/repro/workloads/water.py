@@ -1,0 +1,106 @@
+"""water — pairwise interactions with per-molecule spinlocks.
+
+The lock-intensive accumulation pattern of SPLASH-2 Water-Nsquared: pairs
+``(i, j)`` are partitioned by ``i % threads``; each interaction updates the
+shared force entries of *both* molecules under their locks (ordered by
+index to avoid deadlock). Lock words live in their own array, one per
+molecule, so the recorder sees heavy atomic traffic on many addresses.
+"""
+
+from __future__ import annotations
+
+from ..isa.program import Program
+from . import data
+from .base import Workload, WorkloadHarness, register
+
+_BASE_MOLECULES = 36
+_BASE_ITERS = 1
+
+
+def _build_water(threads: int, scale: int) -> tuple[Program, dict[str, bytes]]:
+    molecules = _BASE_MOLECULES + 8 * (scale - 1)
+    iters = _BASE_ITERS + (scale - 1)
+    h = WorkloadHarness(threads, "water")
+    b = h.b
+    b.words("wpos", data.words(seed=61, count=molecules, modulus=1 << 16))
+    b.space("wforce", molecules * 4)
+    b.space("wlocks", molecules * 4)
+    h.emit_main(epilogue=lambda: h.emit_checksum_write("wforce", molecules))
+
+    def lock_acquire(index_reg: str) -> None:
+        """Spin-acquire wlocks[index_reg]; clobbers r4, r5."""
+        acquire = b.fresh("wl_try")
+        spin = b.fresh("wl_spin")
+        got = b.fresh("wl_got")
+        b.ins("shl", "r4", index_reg, 2)
+        b.label(acquire)
+        b.ins("mov", "r5", 1)
+        b.ins("xchg", "[wlocks + r4]", "r5")
+        b.ins("test", "r5", "r5")
+        b.ins("je", got)
+        b.label(spin)
+        b.ins("pause")
+        b.ins("load", "r5", "[wlocks + r4]")
+        b.ins("test", "r5", "r5")
+        b.ins("jne", spin)
+        b.ins("jmp", acquire)
+        b.label(got)
+
+    def lock_release(index_reg: str) -> None:
+        b.ins("shl", "r4", index_reg, 2)
+        b.ins("store", "[wlocks + r4]", 0)
+
+    b.label("body")
+    b.ins("mov", "r11", "rdi")
+    b.ins("mov", "r14", 0)
+    iter_loop = b.fresh("wt_iter")
+    iter_done = b.fresh("wt_done")
+    b.label(iter_loop)
+    b.ins("cmp", "r14", iters)
+    b.ins("jge", iter_done)
+    # for i in tid, tid+threads, ...: for j in i+1 .. M-1
+    b.ins("mov", "r6", "r11")
+    i_loop = b.fresh("wt_i")
+    i_done = b.fresh("wt_i_done")
+    b.label(i_loop)
+    b.ins("cmp", "r6", molecules)
+    b.ins("jge", i_done)
+    b.ins("add", "r7", "r6", 1)
+    j_loop = b.fresh("wt_j")
+    j_done = b.fresh("wt_j_done")
+    b.label(j_loop)
+    b.ins("cmp", "r7", molecules)
+    b.ins("jge", j_done)
+    # interaction = (pos[i] ^ pos[j]) >> 8
+    b.ins("load", "r8", "[wpos + r6*4]")
+    b.ins("load", "r9", "[wpos + r7*4]")
+    b.ins("xor", "r8", "r8", "r9")
+    b.ins("shr", "r8", "r8", 8)
+    # lock i (i < j always), update force[i], unlock
+    lock_acquire("r6")
+    b.ins("load", "r9", "[wforce + r6*4]")
+    b.ins("add", "r9", "r9", "r8")
+    b.ins("store", "[wforce + r6*4]", "r9")
+    lock_release("r6")
+    # lock j, subtract from force[j], unlock
+    lock_acquire("r7")
+    b.ins("load", "r9", "[wforce + r7*4]")
+    b.ins("sub", "r9", "r9", "r8")
+    b.ins("store", "[wforce + r7*4]", "r9")
+    lock_release("r7")
+    b.ins("add", "r7", "r7", 1)
+    b.ins("jmp", j_loop)
+    b.label(j_done)
+    b.ins("add", "r6", "r6", threads)
+    b.ins("jmp", i_loop)
+    b.label(i_done)
+    h.barrier()
+    b.ins("add", "r14", "r14", 1)
+    b.ins("jmp", iter_loop)
+    b.label(iter_done)
+    b.ins("ret")
+    return h.build(), {}
+
+
+register(Workload("water", "pairwise updates under per-molecule locks",
+                  "splash", _build_water))

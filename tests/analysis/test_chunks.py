@@ -1,0 +1,92 @@
+from repro.analysis.chunks import (
+    chunk_size_stats,
+    per_thread_chunks,
+    rsw_stats,
+    size_cdf,
+    termination_breakdown,
+)
+from repro.mrr.chunk import ChunkEntry, Reason
+
+
+def chunk(icount, reason=Reason.RAW, rsw=0, rthread=1, ts=None):
+    chunk._ts = getattr(chunk, "_ts", 0) + 1
+    return ChunkEntry(rthread, ts if ts is not None else chunk._ts,
+                      icount, 0, rsw, reason)
+
+
+def test_size_stats_basic():
+    chunks = [chunk(i) for i in (1, 2, 3, 4, 100)]
+    stats = chunk_size_stats(chunks)
+    assert stats.count == 5
+    assert stats.total_instructions == 110
+    assert stats.mean == 22.0
+    assert stats.median == 3
+    assert stats.maximum == 100
+
+
+def test_size_stats_percentiles_monotone():
+    chunks = [chunk(i) for i in range(100)]
+    stats = chunk_size_stats(chunks)
+    assert stats.median <= stats.p90 <= stats.p99 <= stats.maximum
+
+
+def test_size_stats_empty():
+    stats = chunk_size_stats([])
+    assert stats.count == 0
+    assert stats.mean == 0.0
+
+
+def test_size_cdf_reaches_one():
+    chunks = [chunk(i) for i in (5, 50, 500)]
+    cdf = size_cdf(chunks, points=(1, 10, 100, 1000))
+    assert cdf[0] == (1, 0.0)
+    assert cdf[-1] == (1000, 1.0)
+    fractions = [frac for _point, frac in cdf]
+    assert fractions == sorted(fractions)
+
+
+def test_size_cdf_empty():
+    assert size_cdf([], points=(1, 10)) == [(1, 0.0), (10, 0.0)]
+
+
+def test_termination_breakdown_sums_to_one():
+    chunks = [chunk(1, Reason.RAW), chunk(1, Reason.WAW),
+              chunk(1, Reason.SYSCALL), chunk(1, Reason.EXIT)]
+    breakdown = termination_breakdown(chunks)
+    assert abs(sum(breakdown.values()) - 1.0) < 1e-9
+    assert breakdown[Reason.RAW] == 0.25
+
+
+def test_termination_breakdown_groups_conflicts():
+    chunks = [chunk(1, Reason.RAW), chunk(1, Reason.WAW),
+              chunk(1, Reason.SYSCALL)]
+    breakdown = termination_breakdown(chunks, group_conflicts=True)
+    assert breakdown["conflict"] == 2 / 3
+    assert Reason.RAW not in breakdown
+
+
+def test_termination_breakdown_empty():
+    assert termination_breakdown([]) == {}
+
+
+def test_rsw_stats():
+    chunks = [chunk(1, rsw=0), chunk(1, rsw=2), chunk(1, rsw=2),
+              chunk(1, rsw=5)]
+    stats = rsw_stats(chunks)
+    assert stats.chunks == 4
+    assert stats.nonzero == 3
+    assert stats.fraction_nonzero == 0.75
+    assert stats.mean_nonzero == 3.0
+    assert stats.maximum == 5
+    assert stats.histogram == {0: 1, 2: 2, 5: 1}
+
+
+def test_rsw_stats_empty():
+    stats = rsw_stats([])
+    assert stats.fraction_nonzero == 0.0
+    assert stats.maximum == 0
+
+
+def test_per_thread_chunks():
+    chunks = [chunk(1, rthread=1), chunk(1, rthread=2), chunk(1, rthread=1)]
+    assert per_thread_chunks(chunks) == {1: 2, 2: 1}

@@ -1,0 +1,39 @@
+from repro.analysis.report import render_kv, render_table
+
+
+def test_table_alignment():
+    text = render_table(("name", "value"), [("a", 1), ("long-name", 22)])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert len(set(len(line) for line in lines)) == 1  # all same width
+
+
+def test_table_title():
+    text = render_table(("x",), [(1,)], title="numbers")
+    assert text.splitlines()[0] == "numbers"
+
+
+def test_float_formatting():
+    text = render_table(("v",), [(3.14159,), (12345.678,)])
+    assert "3.14" in text
+    assert "12,346" in text
+
+
+def test_int_thousands_separator():
+    assert "1,000,000" in render_table(("v",), [(1_000_000,)])
+
+
+def test_kv_block():
+    text = render_kv({"alpha": 1, "beta-longer": "x"}, title="t")
+    lines = text.splitlines()
+    assert lines[0] == "t"
+    assert lines[1].startswith("  alpha")
+
+
+def test_empty_rows():
+    text = render_table(("a", "b"), [])
+    assert len(text.splitlines()) == 2
+
+
+def test_empty_kv():
+    assert render_kv({}) == ""

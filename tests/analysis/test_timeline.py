@@ -1,0 +1,73 @@
+import pytest
+
+from repro import session, workloads
+from repro.analysis.timeline import (
+    interleaving_window,
+    render_recording_timeline,
+    render_timeline,
+)
+from repro.mrr.chunk import ChunkEntry, Reason
+
+
+def chunk(rthread, ts, reason=Reason.RAW):
+    return ChunkEntry(rthread, ts, 1, 0, 0, reason)
+
+
+def test_empty_log():
+    assert "empty" in render_timeline([])
+
+
+def test_one_row_per_thread():
+    chunks = [chunk(1, 1), chunk(2, 2), chunk(1, 3, Reason.EXIT),
+              chunk(2, 4, Reason.EXIT)]
+    text = render_timeline(chunks, width=10)
+    lines = text.splitlines()
+    assert any(line.strip().startswith("t1") for line in lines)
+    assert any(line.strip().startswith("t2") for line in lines)
+    assert "key:" in lines[-1]
+
+
+def test_glyph_priorities():
+    # exit should win over a conflict in the same bucket
+    chunks = [chunk(1, 1, Reason.RAW), chunk(1, 1 + 0, Reason.EXIT)]
+    text = render_timeline([chunk(1, 1, Reason.RAW),
+                            chunk(1, 2, Reason.EXIT)], width=8)
+    # tiny span: both land near the left; exit glyph must appear
+    assert "x" in text
+
+
+def test_row_width_fixed():
+    chunks = [chunk(1, ts) for ts in range(1, 500, 7)]
+    chunks.append(chunk(1, 500, Reason.EXIT))
+    text = render_timeline(chunks, width=40)
+    row = next(line for line in text.splitlines() if "|" in line)
+    body = row.split("|")[1]
+    assert len(body) == 40
+
+
+def test_width_validation():
+    with pytest.raises(ValueError):
+        render_timeline([chunk(1, 1)], width=4)
+
+
+def test_recording_timeline_smoke():
+    program, inputs = workloads.build("counter", threads=2)
+    outcome = session.record(program, seed=1, input_files=inputs)
+    text = render_recording_timeline(outcome.recording, width=60)
+    assert "chunks" in text
+    assert "t1" in text and "t2" in text
+
+
+def test_interleaving_window_marks_center():
+    chunks = [chunk(1 + i % 2, i + 1) for i in range(20)]
+    text = interleaving_window(chunks, center_index=10, radius=3)
+    lines = text.splitlines()
+    assert len(lines) == 7
+    assert lines[3].startswith("->")
+    assert "ts=11" in lines[3]
+
+
+def test_interleaving_window_clamps_at_edges():
+    chunks = [chunk(1, i + 1) for i in range(5)]
+    text = interleaving_window(chunks, center_index=0, radius=3)
+    assert len(text.splitlines()) == 4

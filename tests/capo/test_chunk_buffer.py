@@ -1,0 +1,47 @@
+import pytest
+
+from repro.capo.chunk_buffer import ChunkBuffer
+from repro.mrr.chunk import ChunkEntry, Reason
+
+
+def entry(ts):
+    return ChunkEntry(1, ts, 1, 0, 0, Reason.SIZE)
+
+
+def test_overflow_triggers_drain():
+    drained = []
+    cbuf = ChunkBuffer(3, drained.append)
+    for ts in range(3):
+        cbuf.append(entry(ts))
+    assert len(drained) == 1
+    assert [e.timestamp for e in drained[0]] == [0, 1, 2]
+    assert len(cbuf) == 0
+    assert cbuf.drains == 1
+
+
+def test_manual_drain_flushes_partial():
+    drained = []
+    cbuf = ChunkBuffer(10, drained.append)
+    cbuf.append(entry(1))
+    assert cbuf.drain() == 1
+    assert drained[0][0].timestamp == 1
+
+
+def test_drain_empty_is_noop():
+    drained = []
+    cbuf = ChunkBuffer(4, drained.append)
+    assert cbuf.drain() == 0
+    assert drained == []
+    assert cbuf.drains == 0
+
+
+def test_appended_counter():
+    cbuf = ChunkBuffer(2, lambda batch: None)
+    for ts in range(5):
+        cbuf.append(entry(ts))
+    assert cbuf.appended == 5
+
+
+def test_capacity_validated():
+    with pytest.raises(ValueError):
+        ChunkBuffer(0, lambda batch: None)

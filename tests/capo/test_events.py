@@ -1,0 +1,43 @@
+import pytest
+
+from repro.capo.events import (
+    EV_NONDET,
+    EV_SIGNAL,
+    EV_SYSCALL,
+    InputEvent,
+    KIND_CODES,
+    KIND_NAMES,
+    KINDS,
+)
+
+
+def test_kind_tables_consistent():
+    assert set(KIND_CODES) == set(KINDS)
+    for kind, code in KIND_CODES.items():
+        assert KIND_NAMES[code] == kind
+
+
+def test_payload_bytes_sums_copies():
+    event = InputEvent(1, 1, 0, EV_SYSCALL, sysno=3, value=8,
+                       copies=((0x100, b"abcd"), (0x200, b"xy")))
+    assert event.payload_bytes == 6
+
+
+def test_payload_bytes_zero_without_copies():
+    assert InputEvent(1, 1, 0, EV_SIGNAL, value=10).payload_bytes == 0
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        InputEvent(1, 1, 0, "teleport")
+
+
+def test_unknown_nondet_kind_rejected():
+    with pytest.raises(ValueError):
+        InputEvent(1, 1, 0, EV_NONDET, nondet_kind="coinflip")
+
+
+def test_valid_nondet_kinds():
+    for kind in ("rdtsc", "rdrand", "cpuid"):
+        event = InputEvent(1, 1, 0, EV_NONDET, nondet_kind=kind, value=5)
+        assert event.nondet_kind == kind

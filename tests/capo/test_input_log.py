@@ -1,0 +1,68 @@
+import pytest
+
+from repro.capo.events import (
+    EV_EXIT,
+    EV_NONDET,
+    EV_SIGNAL,
+    EV_SIGRETURN,
+    EV_SYSCALL,
+    InputEvent,
+)
+from repro.capo.input_log import decode_events, encode_events
+from repro.errors import LogFormatError
+
+
+def sample_events():
+    return [
+        InputEvent(1, 1, 0, EV_SYSCALL, sysno=3, value=128,
+                   copies=((0x2000, b"hello world!"),)),
+        InputEvent(2, 2, 1, EV_NONDET, nondet_kind="rdtsc", value=0xABCDEF),
+        InputEvent(2, 3, 1, EV_SIGNAL, value=10),
+        InputEvent(2, 4, 2, EV_SIGRETURN),
+        InputEvent(1, 5, 3, EV_EXIT, value=0),
+    ]
+
+
+def test_round_trip():
+    events = sample_events()
+    assert decode_events(encode_events(events)) == events
+
+
+def test_empty_log():
+    assert decode_events(encode_events([])) == []
+
+
+def test_multiple_copies_round_trip():
+    event = InputEvent(1, 1, 0, EV_SYSCALL, sysno=3, value=8,
+                       copies=((0, b"ab"), (100, b""), (200, b"c" * 300)))
+    assert decode_events(encode_events([event])) == [event]
+
+
+def test_large_values_round_trip():
+    event = InputEvent(255, 2**40, 2**20, EV_SYSCALL, sysno=9,
+                       value=0xFFFFFFFF)
+    assert decode_events(encode_events([event])) == [event]
+
+
+def test_bad_magic_rejected():
+    blob = bytearray(encode_events(sample_events()))
+    blob[0] = ord("Z")
+    with pytest.raises(LogFormatError):
+        decode_events(bytes(blob))
+
+
+def test_truncated_rejected():
+    blob = encode_events(sample_events())
+    with pytest.raises(LogFormatError):
+        decode_events(blob[:-3])
+
+
+def test_trailing_garbage_rejected():
+    blob = encode_events(sample_events())
+    with pytest.raises(LogFormatError):
+        decode_events(blob + b"\x00")
+
+
+def test_header_too_short_rejected():
+    with pytest.raises(LogFormatError):
+        decode_events(b"QRIL")

@@ -1,0 +1,84 @@
+import json
+
+import pytest
+
+from repro import session, workloads
+from repro.capo.recording import Recording
+from repro.errors import LogFormatError
+
+
+@pytest.fixture(scope="module")
+def recording():
+    program, inputs = workloads.build("counter", threads=2)
+    return session.record(program, seed=3, input_files=inputs).recording
+
+
+def test_save_load_round_trip(recording, tmp_path):
+    recording.save(tmp_path / "rec")
+    loaded = Recording.load(tmp_path / "rec")
+    assert loaded.chunks == recording.chunks
+    assert loaded.events == recording.events
+    assert loaded.config == recording.config
+    assert loaded.program.instructions == recording.program.instructions
+    assert loaded.metadata == json.loads(json.dumps(recording.metadata))
+
+
+def test_saved_layout(recording, tmp_path):
+    directory = recording.save(tmp_path / "rec")
+    names = {path.name for path in directory.iterdir()}
+    assert {"manifest.json", "program.json", "input.bin", "chunks.bin"} <= names
+    assert "chunks.qrz" in names  # compression enabled by default
+
+
+def test_compressed_chunk_fallback(recording, tmp_path):
+    directory = recording.save(tmp_path / "rec")
+    (directory / "chunks.bin").unlink()
+    loaded = Recording.load(directory)
+    assert sorted(loaded.chunks, key=lambda c: c.sort_key) == \
+           sorted(recording.chunks, key=lambda c: c.sort_key)
+
+
+def test_load_missing_directory(tmp_path):
+    with pytest.raises(LogFormatError):
+        Recording.load(tmp_path / "nope")
+
+
+def test_load_rejects_foreign_manifest(tmp_path):
+    directory = tmp_path / "rec"
+    directory.mkdir()
+    (directory / "manifest.json").write_text(json.dumps({"format": "other"}))
+    with pytest.raises(LogFormatError):
+        Recording.load(directory)
+
+
+def test_manifest_count_mismatch_detected(recording, tmp_path):
+    directory = recording.save(tmp_path / "rec")
+    manifest = json.loads((directory / "manifest.json").read_text())
+    manifest["chunk_count"] += 1
+    (directory / "manifest.json").write_text(json.dumps(manifest))
+    with pytest.raises(LogFormatError):
+        Recording.load(directory)
+
+
+def test_size_helpers(recording):
+    assert recording.chunk_log_bytes() > 0
+    assert recording.input_log_bytes() > 0
+    assert recording.total_log_bytes() == (recording.chunk_log_bytes()
+                                           + recording.input_log_bytes())
+    assert recording.chunk_log_compressed_bytes() < recording.chunk_log_bytes()
+
+
+def test_thread_slicing(recording):
+    rthreads = recording.rthreads()
+    assert rthreads == [1, 2]
+    total = sum(len(recording.chunks_of(rt)) for rt in rthreads)
+    assert total == len(recording.chunks)
+    for rt in rthreads:
+        assert all(event.rthread == rt for event in recording.events_of(rt))
+
+
+def test_replay_of_loaded_recording(recording, tmp_path):
+    directory = recording.save(tmp_path / "rec")
+    loaded = Recording.load(directory)
+    result = session.replay_recording(loaded)
+    assert result.final_memory_digest == recording.metadata["final_memory_digest"]

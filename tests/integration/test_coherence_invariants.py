@@ -1,0 +1,66 @@
+"""MESI invariants under recording, checked after every transaction.
+
+Regression for a real bug: a DRAIN-mode victim draining *inside* another
+core's bus transaction issued nested transactions and left two caches in
+Modified for the same line — silently breaking conflict detection.
+"""
+
+import pytest
+
+from repro import session, workloads
+from repro.config import (
+    MachineConfig,
+    MRRConfig,
+    SimConfig,
+    StoreBufferConfig,
+    TsoMode,
+)
+from repro.machine.bus import SnoopBus
+from repro.machine.cache import EXCLUSIVE, MODIFIED
+
+
+class _CheckedBus(SnoopBus):
+    """SnoopBus that asserts MESI ownership invariants per transaction."""
+
+    def transaction(self, requester, line, is_write, upgrade=False):
+        result = super().transaction(requester, line, is_write, upgrade)
+        holders = {}
+        lines = set()
+        for cache in self._caches:
+            if cache is not None:
+                lines.update(cache.cached_lines())
+        for check_line in lines:
+            states = [cache.state(check_line) for cache in self._caches
+                      if cache is not None]
+            owners = [s for s in states if s in (MODIFIED, EXCLUSIVE)]
+            sharers = [s for s in states if s is not None]
+            assert len(owners) <= 1, \
+                f"line {check_line:#x}: multiple owners {states}"
+            if owners:
+                assert len(sharers) == 1, \
+                    f"line {check_line:#x}: owner coexists with sharers {states}"
+        return result
+
+
+@pytest.fixture(autouse=True)
+def checked_bus(monkeypatch):
+    monkeypatch.setattr("repro.machine.machine.SnoopBus", _CheckedBus)
+
+
+@pytest.mark.parametrize("mode", [TsoMode.RSW, TsoMode.DRAIN])
+def test_mesi_invariants_hold_under_recording(mode):
+    config = SimConfig(
+        machine=MachineConfig(
+            store_buffer=StoreBufferConfig(entries=12, drain_period=12)),
+        mrr=MRRConfig(tso_mode=mode),
+    )
+    program, inputs = workloads.build("water")
+    outcome, _replayed, report = session.record_and_replay(
+        program, seed=3, config=config, input_files=inputs)
+    assert report.ok
+
+
+def test_mesi_invariants_hold_without_recording():
+    program, inputs = workloads.build("locks")
+    outcome = session.simulate(program, seed=5, input_files=inputs)
+    assert outcome.exit_codes[1] == 0

@@ -1,0 +1,48 @@
+"""Recording must never change what executes — the invariant the overhead
+methodology stands on."""
+
+import pytest
+
+from repro import session, workloads
+
+
+@pytest.mark.parametrize("name", ["counter", "water", "iobound", "sigping"])
+def test_all_modes_execute_identically(name):
+    program, inputs = workloads.build(name)
+    runs = {
+        mode: session.simulate(program, seed=4, mode=mode, input_files=inputs)
+        for mode in (session.MODE_OFF, session.MODE_HW, session.MODE_FULL)
+    }
+    off, hw, full = (runs[m] for m in (session.MODE_OFF, session.MODE_HW,
+                                       session.MODE_FULL))
+    assert off.final_memory_digest == hw.final_memory_digest
+    assert off.final_memory_digest == full.final_memory_digest
+    assert off.outputs == hw.outputs == full.outputs
+    assert off.units == hw.units == full.units
+    assert off.exit_codes == hw.exit_codes == full.exit_codes
+    assert off.kernel_stats == hw.kernel_stats == full.kernel_stats
+
+
+def test_cycle_ordering_off_le_hw_le_full():
+    program, inputs = workloads.build("lu")
+    off = session.simulate(program, seed=2, input_files=inputs)
+    hw = session.simulate(program, seed=2, mode=session.MODE_HW,
+                          input_files=inputs)
+    full = session.simulate(program, seed=2, mode=session.MODE_FULL,
+                            input_files=inputs)
+    assert off.total_cycles <= hw.total_cycles <= full.total_cycles
+
+
+def test_different_seeds_change_interleaving_dependent_state():
+    program, inputs = workloads.build("prodcons")
+    a = session.simulate(program, seed=1, input_files=inputs)
+    b = session.simulate(program, seed=2, input_files=inputs)
+    assert a.final_memory_digest != b.final_memory_digest
+
+
+def test_recording_unaffected_by_repeated_runs():
+    program, inputs = workloads.build("dekker")
+    first = session.record(program, seed=8, input_files=inputs)
+    second = session.record(program, seed=8, input_files=inputs)
+    assert first.recording.chunks == second.recording.chunks
+    assert first.recording.events == second.recording.events

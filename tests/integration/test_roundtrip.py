@@ -1,0 +1,122 @@
+"""The central claim (V1): replay from the logs alone reproduces every
+recorded run — all workloads, several seeds and interleaving policies,
+several machine configurations."""
+
+import pytest
+
+from repro import session, workloads
+from repro.config import (
+    KernelConfig,
+    MachineConfig,
+    MRRConfig,
+    SimConfig,
+    StoreBufferConfig,
+    TsoMode,
+)
+
+
+def roundtrip(name, threads=None, scale=1, seed=0, policy="random",
+              config=None):
+    program, inputs = workloads.build(name, threads=threads, scale=scale)
+    outcome, replayed, report = session.record_and_replay(
+        program, seed=seed, policy=policy, config=config, input_files=inputs)
+    assert report.ok, f"{name} seed={seed} policy={policy}: {report.summary()}"
+    return outcome, replayed
+
+
+@pytest.mark.parametrize("name", workloads.all_names())
+def test_every_workload_replays(name):
+    roundtrip(name, seed=1)
+
+
+@pytest.mark.parametrize("seed", [0, 2, 3, 7])
+def test_racy_workloads_replay_across_seeds(seed):
+    roundtrip("pingpong", seed=seed)
+    roundtrip("prodcons", seed=seed)
+
+
+@pytest.mark.parametrize("policy", ["random", "rr", "bursty"])
+def test_policies(policy):
+    roundtrip("water", seed=5, policy=policy)
+
+
+def test_single_core_machine():
+    config = SimConfig(machine=MachineConfig(num_cores=1))
+    roundtrip("counter", seed=1, config=config)
+
+
+def test_eight_core_machine():
+    config = SimConfig(machine=MachineConfig(num_cores=8))
+    roundtrip("radix", threads=8, seed=1, config=config)
+
+
+def test_more_threads_than_cores():
+    config = SimConfig(machine=MachineConfig(num_cores=2),
+                       kernel=KernelConfig(quantum_instructions=300))
+    roundtrip("counter", threads=6, seed=3, config=config)
+
+
+def test_tiny_quantum_heavy_context_switching():
+    config = SimConfig(kernel=KernelConfig(quantum_instructions=60))
+    roundtrip("locks", seed=2, config=config)
+
+
+def test_deep_store_buffer_long_rsw():
+    config = SimConfig(machine=MachineConfig(
+        store_buffer=StoreBufferConfig(entries=16, drain_period=50)))
+    outcome, _ = roundtrip("pingpong", seed=4, config=config)
+    assert any(chunk.rsw > 0 for chunk in outcome.recording.chunks)
+
+
+def test_eager_drain_rsw_free():
+    config = SimConfig(machine=MachineConfig(
+        store_buffer=StoreBufferConfig(entries=2, drain_period=1,
+                                       drain_burst=4)))
+    outcome, _ = roundtrip("pingpong", seed=4, config=config)
+    assert all(chunk.rsw == 0 for chunk in outcome.recording.chunks)
+
+
+def test_drain_tso_mode():
+    from repro.mrr.chunk import Reason
+
+    config = SimConfig(machine=MachineConfig(
+        store_buffer=StoreBufferConfig(entries=12, drain_period=12)),
+        mrr=MRRConfig(tso_mode=TsoMode.DRAIN))
+    outcome, _ = roundtrip("pingpong", seed=4, config=config)
+    # DRAIN mode empties the store buffer at self-initiated cuts; only
+    # snoop-cut (conflict) chunks may still carry pending stores
+    for chunk in outcome.recording.chunks:
+        if chunk.rsw:
+            assert chunk.reason in Reason.CONFLICTS
+
+
+def test_tiny_signature_many_false_conflicts():
+    config = SimConfig(mrr=MRRConfig(signature_bits=32, signature_hashes=1))
+    roundtrip("barnes", seed=1, config=config)
+
+
+def test_small_chunk_cap():
+    config = SimConfig(mrr=MRRConfig(max_chunk_instructions=64))
+    outcome, _ = roundtrip("fft", seed=1, config=config)
+    assert all(chunk.icount <= 64 for chunk in outcome.recording.chunks)
+
+
+def test_tiny_cbuf_many_drains():
+    config = SimConfig(mrr=MRRConfig(cbuf_entries=2))
+    outcome, _ = roundtrip("counter", seed=1, config=config)
+    assert outcome.rsm_stats["cbuf_drains"] > 10
+
+
+def test_load_hash_mode_verifies():
+    config = SimConfig(mrr=MRRConfig(log_load_hash=True))
+    roundtrip("water", seed=6, config=config)
+
+
+def test_jittered_timeslices():
+    config = SimConfig(kernel=KernelConfig(quantum_instructions=400,
+                                           timeslice_jitter=200))
+    roundtrip("radix", seed=9, config=config)
+
+
+def test_scale_two_workload():
+    roundtrip("ocean", scale=2, seed=1)

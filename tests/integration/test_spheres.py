@@ -1,0 +1,130 @@
+"""Replay spheres under multiprogramming: record one process while
+unrecorded background processes share the machine (the Capo scenario)."""
+
+import pytest
+
+from repro import session, workloads
+from repro.errors import ConfigError
+from repro.isa.builder import KernelBuilder
+
+
+def background_program(data_base: int, iters: int = 400,
+                       noisy_stdout: bool = False):
+    """An unrecorded busy process at its own data region."""
+    b = KernelBuilder(data_base=data_base)
+    b.word("bg_acc", 0)
+    b.asciz("bg_msg", "bg!")
+    b.label("main")
+    with b.for_range("r6", 0, iters):
+        b.ins("load", "r7", "[bg_acc]")
+        b.ins("add", "r7", "r7", "r6")
+        b.ins("store", "[bg_acc]", "r7")
+        if noisy_stdout:
+            with b.if_equal("r6", iters // 2):
+                b.ins("push", "r6")
+                b.write(1, "bg_msg", 3)
+                b.ins("pop", "r6")
+    b.exit(0)
+    return b.build(f"background@{data_base:#x}")
+
+
+def sphere_program():
+    program, _inputs = workloads.build("counter", threads=2)
+    return program
+
+
+def test_record_and_replay_with_background():
+    outcome, replayed, report = session.record_and_replay(
+        sphere_program(), seed=5,
+        background_programs=[background_program(0x100000)])
+    assert report.ok, report.summary()
+    assert outcome.sphere_region is not None
+    assert replayed.region_digest == outcome.sphere_digest
+
+
+def test_two_background_processes():
+    backgrounds = [background_program(0x100000),
+                   background_program(0x200000, noisy_stdout=True)]
+    outcome, replayed, report = session.record_and_replay(
+        sphere_program(), seed=9, background_programs=backgrounds)
+    assert report.ok, report.summary()
+
+
+def test_sphere_outputs_exclude_background_writes():
+    outcome = session.record(
+        sphere_program(), seed=3,
+        background_programs=[background_program(0x100000,
+                                                noisy_stdout=True)])
+    assert b"bg!" in outcome.outputs["stdout"]
+    assert b"bg!" not in outcome.sphere_outputs.get("stdout", b"")
+    replayed = session.replay_recording(outcome.recording)
+    assert replayed.outputs == outcome.sphere_outputs
+
+
+def test_background_exit_codes_excluded_from_sphere():
+    outcome = session.record(
+        sphere_program(), seed=3,
+        background_programs=[background_program(0x100000)])
+    assert set(outcome.sphere_exit_codes) < set(outcome.exit_codes)
+    replayed = session.replay_recording(outcome.recording)
+    assert replayed.exit_codes == outcome.sphere_exit_codes
+
+
+def test_background_load_perturbs_schedule_but_not_replay():
+    program = sphere_program()
+    alone = session.record(program, seed=7)
+    with_bg = session.record(
+        program, seed=7,
+        background_programs=[background_program(0x100000, iters=2000)])
+    # the sphere's own digest covers only its region; it may or may not
+    # coincide with the standalone run, but the recordings certainly
+    # differ in shape (preemptions caused by the competing process)
+    assert with_bg.kernel_stats["preemptions"] >= alone.kernel_stats["preemptions"]
+    replayed = session.replay_recording(with_bg.recording)
+    assert session.verify(with_bg, replayed).ok
+
+
+def test_modes_identical_with_background():
+    program = sphere_program()
+    backgrounds = [background_program(0x100000)]
+    runs = {mode: session.simulate(program, seed=2, mode=mode,
+                                   background_programs=backgrounds)
+            for mode in (session.MODE_OFF, session.MODE_HW,
+                         session.MODE_FULL)}
+    digests = {run.final_memory_digest for run in runs.values()}
+    assert len(digests) == 1
+    assert len({run.units for run in runs.values()}) == 1
+
+
+def test_no_chunks_or_events_from_background_threads():
+    outcome = session.record(
+        sphere_program(), seed=4,
+        background_programs=[background_program(0x100000)])
+    recorded = set(outcome.sphere_exit_codes)
+    assert {chunk.rthread for chunk in outcome.recording.chunks} <= recorded
+    assert {event.rthread for event in outcome.recording.events} <= recorded
+
+
+def test_overlapping_regions_rejected():
+    with pytest.raises(ConfigError):
+        session.record(sphere_program(), seed=1,
+                       background_programs=[background_program(0x1000)])
+
+
+def test_region_past_memory_rejected():
+    with pytest.raises(ConfigError):
+        session.record(
+            sphere_program(), seed=1,
+            background_programs=[background_program((1 << 22) - 64)])
+
+
+def test_saved_multiprocess_recording_round_trips(tmp_path):
+    from repro.capo.recording import Recording
+
+    outcome = session.record(
+        sphere_program(), seed=8,
+        background_programs=[background_program(0x100000)])
+    outcome.recording.save(tmp_path / "rec")
+    loaded = Recording.load(tmp_path / "rec")
+    replayed = session.replay_recording(loaded)
+    assert session.verify(outcome, replayed).ok

@@ -1,0 +1,189 @@
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import assemble
+from repro.isa.operands import Imm, Mem, Reg
+
+
+def test_minimal_program():
+    program = assemble(".text\nmain:\n    nop\n    syscall\n")
+    assert len(program) == 2
+    assert program.entry == 0
+    assert program.instructions[0].mnemonic == "nop"
+
+
+def test_entry_defaults_to_main_label():
+    program = assemble(".text\nhelper:\n    nop\nmain:\n    nop\n")
+    assert program.entry == 1
+
+
+def test_explicit_entry_label():
+    program = assemble(".text\na:\n    nop\nb:\n    nop\n", entry="b")
+    assert program.entry == 1
+
+
+def test_unknown_entry_label_rejected():
+    with pytest.raises(AssemblerError):
+        assemble(".text\n    nop\n", entry="nowhere")
+
+
+def test_data_word_layout_little_endian():
+    program = assemble(".data\nv: .word 1, 0x1234\n.text\n    nop\n")
+    assert program.data[:4] == (1).to_bytes(4, "little")
+    assert program.data[4:8] == (0x1234).to_bytes(4, "little")
+
+
+def test_data_symbols_get_absolute_addresses():
+    program = assemble(".data\na: .word 0\nb: .word 0\n.text\n    nop\n",
+                       data_base=0x2000)
+    assert program.symbols["a"] == 0x2000
+    assert program.symbols["b"] == 0x2004
+
+
+def test_space_and_fill():
+    program = assemble(".data\nbuf: .space 5, 7\n.text\n    nop\n")
+    assert program.data == bytes([7] * 5)
+
+
+def test_asciz_appends_nul_and_handles_escapes():
+    program = assemble('.data\ns: .asciz "hi\\n"\n.text\n    nop\n')
+    assert program.data == b"hi\n\x00"
+
+
+def test_align_pads_with_zeros():
+    program = assemble(".data\na: .byte 1\n.align 4\nb: .word 2\n.text\n nop\n")
+    assert program.symbols["b"] - program.symbols["a"] == 4
+
+
+def test_word_symbol_fixup():
+    source = """
+.data
+ptr: .word target
+target: .word 99
+.text
+    nop
+"""
+    program = assemble(source, data_base=0x1000)
+    assert program.data[:4] == (0x1004).to_bytes(4, "little")
+
+
+def test_code_labels_resolve_to_indices():
+    source = """
+.text
+start:
+    nop
+loop:
+    jmp loop
+"""
+    program = assemble(source)
+    assert program.code_symbols["loop"] == 1
+    assert program.instructions[1].ops[0] == Imm(1)
+
+
+def test_memory_operand_parsing_full_form():
+    program = assemble(".data\narr: .word 0\n.text\n    load r1, [arr + r2*4 + 8]\n",
+                       data_base=0x100)
+    mem = program.instructions[0].ops[1]
+    assert isinstance(mem, Mem)
+    assert mem.base is None
+    assert mem.index == 2
+    assert mem.scale == 4
+    assert mem.disp == 0x108
+
+
+def test_memory_operand_base_and_index():
+    program = assemble(".text\n    load r1, [r4 + r5]\n")
+    mem = program.instructions[0].ops[1]
+    assert mem.base == 4 and mem.index == 5 and mem.scale == 1
+
+
+def test_memory_operand_negative_disp():
+    program = assemble(".text\n    load r1, [r4 - 8]\n")
+    mem = program.instructions[0].ops[1]
+    assert mem.disp == 0xFFFFFFF8
+
+
+def test_bare_symbol_as_value_operand():
+    program = assemble(".data\nv: .word 0\n.text\n    mov r1, v\n",
+                       data_base=0x400)
+    assert program.instructions[0].ops[1] == Imm(0x400)
+
+
+def test_value_operand_register():
+    program = assemble(".text\n    mov r1, r2\n")
+    assert program.instructions[0].ops[1] == Reg(2)
+
+
+def test_comments_stripped():
+    program = assemble(".text\n    nop ; trailing\n    # whole line\n    nop\n")
+    assert len(program) == 2
+
+
+def test_comment_chars_inside_strings_kept():
+    program = assemble('.data\ns: .asciz "a;b#c"\n.text\n    nop\n')
+    assert program.data == b"a;b#c\x00"
+
+
+def test_label_and_instruction_same_line():
+    program = assemble(".text\nmain: nop\n")
+    assert program.code_symbols["main"] == 0
+
+
+def test_jz_alias_normalized():
+    program = assemble(".text\nx:\n    jz x\n")
+    assert program.instructions[0].mnemonic == "je"
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblerError) as err:
+        assemble(".text\na:\n    nop\na:\n    nop\n")
+    assert "duplicate" in str(err.value)
+
+
+def test_undefined_symbol_rejected_with_line():
+    with pytest.raises(AssemblerError) as err:
+        assemble(".text\n    jmp nowhere\n")
+    assert "nowhere" in str(err.value)
+    assert "line 2" in str(err.value)
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(AssemblerError):
+        assemble(".text\n    frobnicate r1\n")
+
+
+def test_wrong_operand_count_rejected():
+    with pytest.raises(AssemblerError):
+        assemble(".text\n    add r1, r2\n")
+
+
+def test_instruction_in_data_section_rejected():
+    with pytest.raises(AssemblerError):
+        assemble(".data\n    nop\n")
+
+
+def test_directive_in_text_section_rejected():
+    with pytest.raises(AssemblerError):
+        assemble(".text\n    .word 5\n")
+
+
+def test_bad_scale_rejected():
+    with pytest.raises(AssemblerError):
+        assemble(".text\n    load r1, [r2*3]\n")
+
+
+def test_two_index_registers_rejected():
+    with pytest.raises(AssemblerError):
+        assemble(".text\n    load r1, [r2*2 + r3*4]\n")
+
+
+def test_label_in_both_segments_rejected():
+    with pytest.raises(AssemblerError):
+        assemble(".data\nx: .word 0\n.text\nx:\n    nop\n")
+
+
+def test_listing_contains_labels_and_indices():
+    program = assemble(".text\nmain:\n    nop\n")
+    listing = program.listing()
+    assert "main:" in listing
+    assert "nop" in listing

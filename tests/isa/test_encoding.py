@@ -1,0 +1,139 @@
+import json
+
+import pytest
+
+from repro import workloads
+from repro.errors import LogFormatError
+from repro.isa.assembler import assemble
+from repro.isa.encoding import (
+    decode_instr,
+    decode_program,
+    encode_instr,
+    encode_program,
+)
+from repro.isa.instructions import Instr
+from repro.isa.operands import Imm, Mem, Reg
+
+
+SOURCE = """
+.data
+v: .word 1, 2, 3
+s: .asciz "hello"
+.text
+main:
+    mov r1, v
+    load r2, [r1 + r3*4 + 8]
+    add r2, r2, 0xFFFF
+    cmp r2, r4
+    jne main
+    xadd [v], r2
+    mov rcx, 3
+    rep_movs
+    syscall
+"""
+
+
+def test_instr_round_trip_every_shape():
+    cases = [
+        Instr("nop", ()),
+        Instr("mov", (Reg(1), Imm(0xFFFFFFFF))),
+        Instr("mov", (Reg(1), Reg(2))),
+        Instr("load", (Reg(3), Mem(base=4, index=5, scale=8, disp=12))),
+        Instr("store", (Mem(disp=0x1234), Imm(7))),
+        Instr("jmp", (Imm(99999),)),
+        Instr("xadd", (Mem(base=1), Reg(2))),
+        Instr("rep_movs", ()),
+        Instr("syscall", ()),
+    ]
+    for instr in cases:
+        decoded, consumed = decode_instr(encode_instr(instr))
+        assert decoded == instr
+        assert consumed == len(encode_instr(instr))
+
+
+def test_program_round_trip():
+    program = assemble(SOURCE, name="enc-test")
+    clone = decode_program(encode_program(program))
+    assert clone.instructions == tuple(
+        # Mem.symbol display hints are not carried by the binary form
+        _strip_symbols(instr) for instr in program.instructions)
+    assert clone.data == program.data
+    assert clone.symbols == program.symbols
+    assert clone.code_symbols == program.code_symbols
+    assert clone.entry == program.entry
+    assert clone.name == program.name
+
+
+def _strip_symbols(instr: Instr) -> Instr:
+    ops = tuple(
+        Mem(base=op.base, index=op.index, scale=op.scale, disp=op.disp)
+        if isinstance(op, Mem) else op
+        for op in instr.ops)
+    return Instr(instr.mnemonic, ops)
+
+
+def test_decoded_program_executes_identically():
+    from repro import session
+
+    program, inputs = workloads.build("counter", threads=2)
+    clone = decode_program(encode_program(program))
+    original = session.simulate(program, seed=3, input_files=inputs)
+    replayed = session.simulate(clone, seed=3, input_files=inputs)
+    assert original.final_memory_digest == replayed.final_memory_digest
+
+
+def test_binary_is_denser_than_json():
+    program, _ = workloads.build("radix")
+    binary = len(encode_program(program))
+    as_json = len(json.dumps(program.to_dict()))
+    # data segments dominate radix (raw bytes vs hex text = 2x); code is
+    # far denser still
+    assert binary < as_json / 2
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(LogFormatError):
+        decode_program(b"XXXX\x01")
+
+
+def test_bad_version_rejected():
+    program = assemble(".text\nmain:\n    nop\n")
+    blob = bytearray(encode_program(program))
+    blob[4] = 99
+    with pytest.raises(LogFormatError):
+        decode_program(bytes(blob))
+
+
+def test_truncation_rejected():
+    program = assemble(SOURCE)
+    blob = encode_program(program)
+    for cut in (6, len(blob) // 2, len(blob) - 1):
+        with pytest.raises(LogFormatError):
+            decode_program(blob[:cut])
+
+
+def test_trailing_garbage_rejected():
+    program = assemble(".text\nmain:\n    nop\n")
+    with pytest.raises(LogFormatError):
+        decode_program(encode_program(program) + b"\x00")
+
+
+def test_unknown_opcode_rejected():
+    with pytest.raises(LogFormatError):
+        decode_instr(bytes([250]))
+
+
+def test_bad_value_tag_rejected():
+    instr = Instr("mov", (Reg(1), Imm(5)))
+    blob = bytearray(encode_instr(instr))
+    blob[2] = 9  # value-operand tag
+    with pytest.raises(LogFormatError):
+        decode_instr(bytes(blob))
+
+
+def test_all_workload_programs_round_trip():
+    for name in workloads.all_names():
+        program, _ = workloads.build(name, threads=2)
+        clone = decode_program(encode_program(program))
+        assert len(clone) == len(program)
+        assert clone.data == program.data

@@ -1,0 +1,94 @@
+import pytest
+
+from repro.isa.instructions import (
+    ALIASES,
+    Instr,
+    MNEMONICS,
+    is_atomic,
+    is_rep,
+    mem_ops_per_unit,
+)
+from repro.isa.operands import Imm, Mem, Reg
+
+
+def test_every_spec_arity_matches_signature():
+    for name, spec in MNEMONICS.items():
+        assert spec.mnemonic == name
+        assert spec.arity == len(spec.signature)
+
+
+def test_atomics_are_fences():
+    for name in ("xadd", "xchg", "cmpxchg"):
+        spec = MNEMONICS[name]
+        assert spec.is_atomic
+        assert spec.is_fence
+        assert spec.reads_mem and spec.writes_mem
+
+
+def test_rep_instructions_flagged():
+    assert MNEMONICS["rep_movs"].is_rep
+    assert MNEMONICS["rep_stos"].is_rep
+    assert not MNEMONICS["mov"].is_rep
+
+
+def test_nondet_instructions_flagged():
+    for name in ("rdtsc", "rdrand", "cpuid"):
+        assert MNEMONICS[name].is_nondet
+
+
+def test_branch_flags():
+    assert MNEMONICS["jmp"].is_branch and not MNEMONICS["jmp"].is_cond_branch
+    assert MNEMONICS["je"].is_cond_branch
+    assert MNEMONICS["call"].is_branch
+    assert MNEMONICS["ret"].is_branch
+
+
+def test_instr_validates_arity():
+    with pytest.raises(ValueError):
+        Instr("mov", (Reg(1),))
+    with pytest.raises(ValueError):
+        Instr("nop", (Reg(1),))
+
+
+def test_instr_validates_operand_kinds():
+    with pytest.raises(ValueError):
+        Instr("load", (Imm(1), Mem(base=2)))  # dest must be a register
+    with pytest.raises(ValueError):
+        Instr("load", (Reg(1), Reg(2)))  # source must be memory
+    with pytest.raises(ValueError):
+        Instr("jmp", (Reg(1),))  # target must be resolved immediate
+
+
+def test_instr_rejects_unknown_mnemonic():
+    with pytest.raises(ValueError):
+        Instr("bogus", ())
+
+
+def test_instr_str_round():
+    instr = Instr("add", (Reg(1), Reg(2), Imm(3)))
+    assert str(instr) == "add rcx, rsi, 3"
+
+
+def test_mem_ops_per_unit():
+    assert mem_ops_per_unit(Instr("rep_movs", ())) == 2
+    assert mem_ops_per_unit(Instr("rep_stos", ())) == 1
+    assert mem_ops_per_unit(Instr("load", (Reg(1), Mem(base=2)))) == 1
+    assert mem_ops_per_unit(Instr("xadd", (Mem(base=2), Reg(1)))) == 2
+    assert mem_ops_per_unit(Instr("nop", ())) == 0
+
+
+def test_helpers_match_spec():
+    assert is_atomic(Instr("xchg", (Mem(base=1), Reg(2))))
+    assert not is_atomic(Instr("mov", (Reg(1), Imm(0))))
+    assert is_rep(Instr("rep_stos", ()))
+
+
+def test_aliases_resolve_to_known_mnemonics():
+    for alias, target in ALIASES.items():
+        assert target in MNEMONICS
+        assert alias not in MNEMONICS
+
+
+def test_syscall_is_fence():
+    assert MNEMONICS["syscall"].is_syscall
+    assert MNEMONICS["syscall"].is_fence

@@ -1,0 +1,53 @@
+import pytest
+
+from repro.isa.operands import Imm, Mem, Reg
+
+
+def test_imm_masks_to_32_bits():
+    assert Imm(-1).value == 0xFFFFFFFF
+    assert Imm(1 << 35).value == 0
+    assert Imm(5).value == 5
+
+
+def test_reg_str_uses_alias():
+    assert str(Reg(0)) == "rax"
+    assert str(Reg(8)) == "r8"
+
+
+def test_mem_effective_address_base_only():
+    regs = [0] * 16
+    regs[4] = 0x100
+    assert Mem(base=4).effective_address(regs) == 0x100
+
+
+def test_mem_effective_address_full_form():
+    regs = [0] * 16
+    regs[4] = 0x100
+    regs[5] = 3
+    mem = Mem(base=4, index=5, scale=4, disp=8)
+    assert mem.effective_address(regs) == 0x100 + 12 + 8
+
+
+def test_mem_effective_address_wraps_32_bits():
+    regs = [0] * 16
+    regs[4] = 0xFFFFFFFF
+    assert Mem(base=4, disp=2).effective_address(regs) == 1
+
+
+def test_mem_rejects_bad_scale():
+    with pytest.raises(ValueError):
+        Mem(base=1, index=2, scale=3)
+
+
+def test_mem_disp_masked():
+    assert Mem(disp=-4).disp == 0xFFFFFFFC
+
+
+def test_mem_str_renders_terms():
+    text = str(Mem(base=4, index=5, scale=4, disp=8))
+    assert "r4" in text and "r5*4" in text and "8" in text
+
+
+def test_mem_str_symbol_preferred_over_disp():
+    text = str(Mem(disp=0x1234, symbol="counter"))
+    assert "counter" in text

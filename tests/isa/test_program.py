@@ -1,0 +1,67 @@
+import pytest
+
+from repro.errors import LogFormatError
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+
+
+SOURCE = """
+.data
+counter: .word 42
+msg: .asciz "hello"
+.text
+main:
+    mov r1, counter
+    load r2, [r1]
+    add r2, r2, 1
+    store [counter + r3*4], r2
+    jmp main
+"""
+
+
+def test_serialization_round_trip():
+    program = assemble(SOURCE, name="roundtrip")
+    clone = Program.from_dict(program.to_dict())
+    assert clone.name == program.name
+    assert clone.entry == program.entry
+    assert clone.data == program.data
+    assert clone.symbols == program.symbols
+    assert clone.code_symbols == program.code_symbols
+    assert clone.instructions == program.instructions
+
+
+def test_serialization_is_json_compatible():
+    import json
+
+    program = assemble(SOURCE)
+    payload = json.loads(json.dumps(program.to_dict()))
+    clone = Program.from_dict(payload)
+    assert clone.instructions == program.instructions
+
+
+def test_symbol_lookup_both_namespaces():
+    program = assemble(SOURCE, data_base=0x1000)
+    assert program.symbol("counter") == 0x1000
+    assert program.symbol("main") == 0
+    with pytest.raises(KeyError):
+        program.symbol("nope")
+
+
+def test_data_end():
+    program = assemble(SOURCE, data_base=0x1000)
+    assert program.data_end == 0x1000 + len(program.data)
+
+
+def test_malformed_payload_raises_log_format_error():
+    with pytest.raises(LogFormatError):
+        Program.from_dict({"instructions": [{"m": "mov"}]})
+
+
+def test_entry_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        Program(instructions=(), entry=5)
+
+
+def test_len_counts_instructions():
+    program = assemble(SOURCE)
+    assert len(program) == 5

@@ -1,0 +1,56 @@
+import pytest
+
+from repro.isa.registers import (
+    NUM_REGS,
+    RAX,
+    RCX,
+    RDI,
+    RSI,
+    SP,
+    is_register_name,
+    register_name,
+    register_number,
+)
+
+
+def test_plain_register_names_round_trip():
+    for number in range(NUM_REGS):
+        assert register_number(f"r{number}") == number
+
+
+def test_aliases_map_to_documented_numbers():
+    assert register_number("rax") == RAX == 0
+    assert register_number("rcx") == RCX == 1
+    assert register_number("rsi") == RSI == 2
+    assert register_number("rdi") == RDI == 3
+    assert register_number("sp") == SP == 15
+
+
+def test_register_name_prefers_alias():
+    assert register_name(0) == "rax"
+    assert register_name(15) == "sp"
+    assert register_name(7) == "r7"
+
+
+def test_case_insensitive_parsing():
+    assert register_number("RAX") == 0
+    assert register_number("R9") == 9
+
+
+@pytest.mark.parametrize("bad", ["r16", "r-1", "rbx", "x0", "", "r"])
+def test_invalid_names_rejected(bad):
+    with pytest.raises(ValueError):
+        register_number(bad)
+    assert not is_register_name(bad)
+
+
+def test_register_name_out_of_range():
+    with pytest.raises(ValueError):
+        register_name(16)
+    with pytest.raises(ValueError):
+        register_name(-1)
+
+
+def test_is_register_name_positive():
+    assert is_register_name("sp")
+    assert is_register_name("r0")

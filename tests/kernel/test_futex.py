@@ -1,0 +1,40 @@
+from repro.kernel.futex import FutexTable
+
+
+def test_wake_fifo_order():
+    table = FutexTable()
+    table.add_waiter(0x100, 1)
+    table.add_waiter(0x100, 2)
+    table.add_waiter(0x100, 3)
+    assert table.wake(0x100, 2) == [1, 2]
+    assert table.wake(0x100, 2) == [3]
+    assert table.wake(0x100, 2) == []
+
+
+def test_addresses_independent():
+    table = FutexTable()
+    table.add_waiter(0x100, 1)
+    table.add_waiter(0x200, 2)
+    assert table.wake(0x100, 8) == [1]
+    assert table.wake(0x200, 8) == [2]
+
+
+def test_waiter_count():
+    table = FutexTable()
+    assert table.waiter_count() == 0
+    table.add_waiter(0x100, 1)
+    table.add_waiter(0x200, 2)
+    assert table.waiter_count() == 2
+
+
+def test_remove_from_all_queues():
+    table = FutexTable()
+    table.add_waiter(0x100, 1)
+    table.add_waiter(0x100, 2)
+    table.remove(1)
+    assert table.wake(0x100, 8) == [2]
+    table.remove(99)  # absent tid is fine
+
+
+def test_wake_empty_address():
+    assert FutexTable().wake(0x500, 4) == []

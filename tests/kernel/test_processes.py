@@ -1,0 +1,93 @@
+"""Multi-process kernel behaviour (the substrate of replay spheres)."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.errors import KernelError
+from repro.isa.builder import KernelBuilder
+from repro.kernel.kernel import Kernel
+from repro.machine.interleave import make_interleaver
+from repro.machine.machine import Machine
+
+
+def counting_program(data_base: int, iters: int, exit_code: int):
+    b = KernelBuilder(data_base=data_base)
+    b.word("acc", 0)
+    b.label("main")
+    with b.for_range("r6", 0, iters):
+        b.ins("load", "r7", "[acc]")
+        b.ins("add", "r7", "r7", 1)
+        b.ins("store", "[acc]", "r7")
+    b.exit(exit_code)
+    return b.build(f"proc@{data_base:#x}")
+
+
+def make_kernel(primary):
+    machine = Machine(MachineConfig(num_cores=2, memory_bytes=1 << 20))
+    machine.load_program(primary)
+    return machine, Kernel(machine)
+
+
+def test_two_processes_run_to_completion():
+    p1 = counting_program(0x1000, 50, 11)
+    p2 = counting_program(0x80000, 80, 22)
+    machine, kernel = make_kernel(p1)
+    machine.memory.load_blob(p2.data_base, p2.data)
+    kernel.add_process(p1, stack_top=0x40000 - 16)
+    kernel.add_process(p2, stack_top=0xC0000 - 16)
+    kernel.run(make_interleaver("random", 1))
+    assert kernel.tasks[1].exit_code == 11
+    assert kernel.tasks[2].exit_code == 22
+    assert machine.memory.read_word(p1.symbol("acc")) == 50
+    assert machine.memory.read_word(p2.symbol("acc")) == 80
+
+
+def test_processes_get_distinct_pids():
+    p1 = counting_program(0x1000, 5, 0)
+    p2 = counting_program(0x80000, 5, 0)
+    machine, kernel = make_kernel(p1)
+    machine.memory.load_blob(p2.data_base, p2.data)
+    t1 = kernel.add_process(p1, stack_top=0x40000 - 16)
+    t2 = kernel.add_process(p2, stack_top=0xC0000 - 16)
+    assert t1.pid != t2.pid
+
+
+def test_children_inherit_process_identity():
+    b = KernelBuilder(data_base=0x1000)
+    b.word("done", 0)
+    b.space("stack", 2048)
+    b.label("main")
+    b.ins("mov", "r9", "stack")
+    b.ins("add", "r9", "r9", 2032)
+    b.spawn("child", "r9", 0)
+    wait = b.label("wait")
+    b.ins("pause")
+    b.ins("load", "r7", "[done]")
+    b.ins("test", "r7", "r7")
+    b.ins("je", wait)
+    b.exit(0)
+    b.label("child")
+    b.ins("store", "[done]", 1)
+    b.exit(0)
+    program = b.build("spawned")
+    machine, kernel = make_kernel(program)
+    parent = kernel.add_process(program, stack_top=0x40000 - 16)
+    kernel.run(make_interleaver("random", 3))
+    child = kernel.tasks[2]
+    assert child.pid == parent.pid
+    assert child.recorded == parent.recorded
+    assert child.program is parent.program
+
+
+def test_recorded_without_rsm_rejected():
+    program = counting_program(0x1000, 5, 0)
+    _machine, kernel = make_kernel(program)
+    with pytest.raises(KernelError):
+        kernel.add_process(program, stack_top=0x40000 - 16, recorded=True)
+
+
+def test_recorded_tids_tracks_sphere():
+    program = counting_program(0x1000, 5, 0)
+    _machine, kernel = make_kernel(program)
+    kernel.add_process(program, stack_top=0x40000 - 16)
+    assert kernel.recorded_tids() == []

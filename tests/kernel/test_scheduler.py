@@ -1,0 +1,34 @@
+from repro.kernel.scheduler import Scheduler
+
+
+def test_run_queue_fifo():
+    sched = Scheduler()
+    sched.enqueue(1)
+    sched.enqueue(2)
+    assert sched.pop_next() == 1
+    assert sched.pop_next() == 2
+    assert sched.pop_next() is None
+
+
+def test_len_counts_queue():
+    sched = Scheduler()
+    sched.enqueue(1)
+    assert len(sched) == 1
+
+
+def test_sleepers_wake_in_deadline_order():
+    sched = Scheduler()
+    sched.add_sleeper(30, 3)
+    sched.add_sleeper(10, 1)
+    sched.add_sleeper(20, 2)
+    assert sched.due_sleepers(5) == []
+    assert sched.due_sleepers(20) == [1, 2]
+    assert sched.due_sleepers(100) == [3]
+    assert sched.sleeping == 0
+
+
+def test_next_wake():
+    sched = Scheduler()
+    assert sched.next_wake is None
+    sched.add_sleeper(42, 1)
+    assert sched.next_wake == 42

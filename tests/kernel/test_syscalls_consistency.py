@@ -1,0 +1,38 @@
+"""The builder's syscall constants must match the kernel's table."""
+
+from repro.isa import builder
+from repro.kernel import syscalls
+
+
+def test_builder_constants_match_kernel_numbers():
+    pairs = {
+        builder.SYS_EXIT: "exit",
+        builder.SYS_WRITE: "write",
+        builder.SYS_READ: "read",
+        builder.SYS_SPAWN: "spawn",
+        builder.SYS_GETTID: "gettid",
+        builder.SYS_YIELD: "yield",
+        builder.SYS_FUTEX_WAIT: "futex_wait",
+        builder.SYS_FUTEX_WAKE: "futex_wake",
+        builder.SYS_TIME: "time",
+        builder.SYS_KILL: "kill",
+        builder.SYS_SIGACTION: "sigaction",
+        builder.SYS_SIGRETURN: "sigreturn",
+        builder.SYS_RANDOM: "random",
+        builder.SYS_NANOSLEEP: "nanosleep",
+    }
+    for number, name in pairs.items():
+        assert syscalls.SYSCALL_NAMES[number] == name
+
+
+def test_builder_open_close_constants():
+    # builder names these 10/11 via SYS_OPEN/SYS_CLOSE
+    assert syscalls.SYS_OPEN == builder.SYS_OPEN == 10
+    assert syscalls.SYS_CLOSE == builder.SYS_CLOSE == 11
+
+
+def test_every_kernel_syscall_has_unique_number():
+    numbers = list(syscalls.SYSCALL_NAMES)
+    assert len(numbers) == len(set(numbers))
+    assert syscalls.SYSCALL_NUMBERS == {
+        name: number for number, name in syscalls.SYSCALL_NAMES.items()}

@@ -1,0 +1,68 @@
+from repro.kernel.vfs import STDOUT_FD, VFS
+
+
+def test_stdout_preopened():
+    vfs = VFS()
+    assert vfs.write(STDOUT_FD, b"hi") == 2
+    assert vfs.contents("stdout") == b"hi"
+
+
+def test_written_excludes_input_data():
+    vfs = VFS()
+    vfs.add_file("in", b"abc")
+    fd = vfs.open("in")
+    vfs.write(fd, b"xyz")
+    assert vfs.contents("in") == b"abcxyz"
+    assert vfs.written() == {"in": b"xyz"}
+
+
+def test_read_advances_cursor():
+    vfs = VFS()
+    vfs.add_file("f", b"abcdef")
+    fd = vfs.open("f")
+    assert vfs.read(fd, 4) == b"abcd"
+    assert vfs.read(fd, 4) == b"ef"
+    assert vfs.read(fd, 4) == b""
+
+
+def test_independent_cursors_per_fd():
+    vfs = VFS()
+    vfs.add_file("f", b"abcdef")
+    fd1 = vfs.open("f")
+    fd2 = vfs.open("f")
+    assert vfs.read(fd1, 3) == b"abc"
+    assert vfs.read(fd2, 3) == b"abc"
+
+
+def test_bad_fd_returns_none():
+    vfs = VFS()
+    assert vfs.read(99, 4) is None
+    assert vfs.write(99, b"x") is None
+
+
+def test_close_invalidates_fd():
+    vfs = VFS()
+    fd = vfs.open("f")
+    assert vfs.close(fd) == 0
+    assert vfs.read(fd, 1) is None
+    assert vfs.close(fd) == 0xFFFFFFFF
+
+
+def test_open_creates_missing_file():
+    vfs = VFS()
+    fd = vfs.open("new")
+    assert vfs.read(fd, 10) == b""
+    assert "new" in vfs.file_names()
+
+
+def test_add_file_replaces():
+    vfs = VFS()
+    vfs.add_file("f", b"one")
+    vfs.add_file("f", b"two")
+    assert vfs.contents("f") == b"two"
+
+
+def test_fd_name():
+    vfs = VFS()
+    fd = vfs.open("data")
+    assert vfs.fd_name(fd) == "data"

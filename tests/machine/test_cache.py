@@ -1,0 +1,112 @@
+from repro.config import CacheConfig
+from repro.machine.cache import (
+    EXCLUSIVE,
+    HIT,
+    MESICache,
+    MISS,
+    MODIFIED,
+    SHARED,
+    UPGRADE,
+)
+
+
+def make_cache(sets=4, ways=2):
+    return MESICache(CacheConfig(line_bytes=64, sets=sets, ways=ways))
+
+
+def test_read_miss_then_hit():
+    cache = make_cache()
+    assert cache.classify_read(0) == MISS
+    cache.fill(0, EXCLUSIVE)
+    assert cache.classify_read(0) == HIT
+    assert cache.stats.read_misses == 1
+    assert cache.stats.read_hits == 1
+
+
+def test_write_states():
+    cache = make_cache()
+    assert cache.classify_write(0) == MISS
+    cache.fill(0, MODIFIED)
+    assert cache.classify_write(0) == HIT
+
+
+def test_write_to_shared_is_upgrade():
+    cache = make_cache()
+    cache.fill(0, SHARED)
+    assert cache.classify_write(0) == UPGRADE
+    assert cache.stats.upgrades == 1
+
+
+def test_write_hit_on_exclusive_promotes_to_modified():
+    cache = make_cache()
+    cache.fill(0, EXCLUSIVE)
+    assert cache.classify_write(0) == HIT
+    assert cache.state(0) == MODIFIED
+
+
+def test_lru_eviction_within_set():
+    cache = make_cache(sets=1, ways=2)
+    cache.fill(0, EXCLUSIVE)
+    cache.fill(64, EXCLUSIVE)
+    cache.classify_read(0)          # touch 0, making 64 the LRU victim
+    cache.fill(128, EXCLUSIVE)
+    assert cache.state(64) is None
+    assert cache.state(0) == EXCLUSIVE
+    assert cache.stats.evictions == 1
+
+
+def test_eviction_of_modified_reports_writeback():
+    cache = make_cache(sets=1, ways=1)
+    cache.fill(0, MODIFIED)
+    assert cache.fill(64, EXCLUSIVE) is True
+    assert cache.stats.writebacks == 1
+
+
+def test_snoop_remote_read_downgrades():
+    cache = make_cache()
+    cache.fill(0, MODIFIED)
+    assert cache.snoop_remote_read(0) is True
+    assert cache.state(0) == SHARED
+    assert cache.stats.writebacks == 1
+
+
+def test_snoop_remote_read_on_shared_keeps_shared():
+    cache = make_cache()
+    cache.fill(0, SHARED)
+    assert cache.snoop_remote_read(0) is True
+    assert cache.state(0) == SHARED
+
+
+def test_snoop_remote_read_absent():
+    cache = make_cache()
+    assert cache.snoop_remote_read(0) is False
+
+
+def test_snoop_remote_write_invalidates():
+    cache = make_cache()
+    cache.fill(0, SHARED)
+    assert cache.snoop_remote_write(0) is False  # no modified flush
+    assert cache.state(0) is None
+    assert cache.stats.invalidations_received == 1
+
+
+def test_snoop_remote_write_flushes_modified():
+    cache = make_cache()
+    cache.fill(0, MODIFIED)
+    assert cache.snoop_remote_write(0) is True
+    assert cache.state(0) is None
+
+
+def test_lines_map_to_distinct_sets():
+    cache = make_cache(sets=4, ways=1)
+    for index in range(4):
+        cache.fill(index * 64, EXCLUSIVE)
+    assert cache.stats.evictions == 0
+    assert len(cache.cached_lines()) == 4
+
+
+def test_flush_all():
+    cache = make_cache()
+    cache.fill(0, MODIFIED)
+    cache.flush_all()
+    assert cache.cached_lines() == {}

@@ -1,0 +1,363 @@
+"""Instruction-semantics tests against a sequentially consistent port."""
+
+import pytest
+
+from repro.errors import MachineFault
+from repro.machine.core import OUTCOME_NONDET, OUTCOME_SYSCALL
+from tests.conftest import Fragment, run_fragment
+
+
+# -- data movement -----------------------------------------------------------
+
+def test_mov_imm_and_reg():
+    f = run_fragment("    mov r1, 7\n    mov r2, r1\n")
+    assert f.reg(2) == 7
+
+
+def test_mov_negative_masks():
+    f = run_fragment("    mov r1, -1\n")
+    assert f.reg(1) == 0xFFFFFFFF
+
+
+def test_load_store_word():
+    f = run_fragment("    mov r1, 123\n    store [v], r1\n    load r2, [v]\n",
+                     data="v: .word 0\n")
+    assert f.reg(2) == 123
+    assert f.word("v") == 123
+
+
+def test_loadb_zero_extends():
+    f = run_fragment("    loadb r1, [v]\n", data="v: .word 0xFFFFFF80\n")
+    assert f.reg(1) == 0x80
+
+
+def test_storeb_touches_one_byte():
+    f = run_fragment("    mov r1, 0x1FF\n    storeb [v + 1], r1\n",
+                     data="v: .word 0\n")
+    assert f.word("v") == 0xFF00
+
+
+def test_lea_computes_address_without_access():
+    f = run_fragment("    mov r2, 3\n    lea r1, [v + r2*4 + 8]\n",
+                     data="v: .word 0\n")
+    assert f.reg(1) == f.program.symbol("v") + 20
+
+
+def test_push_pop():
+    f = run_fragment("    mov r1, 42\n    push r1\n    mov r1, 0\n    pop r2\n")
+    assert f.reg(2) == 42
+
+
+def test_push_decrements_sp_by_word():
+    f = run_fragment("    mov r5, sp\n    push r1\n    sub r6, r5, sp\n")
+    assert f.reg(6) == 4
+
+
+# -- ALU ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("op,a,b,expected", [
+    ("add", 2, 3, 5),
+    ("add", 0xFFFFFFFF, 1, 0),
+    ("sub", 5, 7, 0xFFFFFFFE),
+    ("and", 0b1100, 0b1010, 0b1000),
+    ("or", 0b1100, 0b1010, 0b1110),
+    ("xor", 0b1100, 0b1010, 0b0110),
+    ("shl", 1, 4, 16),
+    ("shl", 1, 33, 2),            # shift count masked to 5 bits
+    ("shr", 0x80000000, 31, 1),
+    ("sar", 0x80000000, 31, 0xFFFFFFFF),
+    ("mul", 7, 6, 42),
+    ("mul", 0x10000, 0x10000, 0),  # low 32 bits only
+    ("div", 43, 6, 7),
+    ("mod", 43, 6, 1),
+])
+def test_alu_ops(op, a, b, expected):
+    f = run_fragment(f"    mov r1, {a}\n    mov r2, {b}\n    {op} r3, r1, r2\n")
+    assert f.reg(3) == expected
+
+
+def test_alu_immediate_second_source():
+    f = run_fragment("    mov r1, 10\n    add r3, r1, 5\n")
+    assert f.reg(3) == 15
+
+
+def test_div_by_zero_faults():
+    fragment = Fragment(".text\nmain:\n    mov r1, 1\n    div r2, r1, r3\n")
+    with pytest.raises(MachineFault):
+        fragment.run()
+
+
+def test_neg_and_not():
+    f = run_fragment("    mov r1, 5\n    neg r2, r1\n    not r3, r1\n")
+    assert f.reg(2) == 0xFFFFFFFB
+    assert f.reg(3) == 0xFFFFFFFA
+
+
+# -- flags and branches ------------------------------------------------------------
+
+def _branch_taken(cond: str, a: int, b: int) -> bool:
+    f = run_fragment(f"""
+    mov r1, {a}
+    mov r2, {b}
+    mov r3, 0
+    cmp r1, r2
+    {cond} taken
+    jmp out
+taken:
+    mov r3, 1
+out:
+""")
+    return f.reg(3) == 1
+
+
+def test_je_jne():
+    assert _branch_taken("je", 5, 5)
+    assert not _branch_taken("je", 5, 6)
+    assert _branch_taken("jne", 5, 6)
+
+
+def test_signed_comparisons():
+    # -1 < 1 signed
+    assert _branch_taken("jl", 0xFFFFFFFF, 1)
+    assert _branch_taken("jg", 1, 0xFFFFFFFF)
+    assert _branch_taken("jle", 5, 5)
+    assert _branch_taken("jge", 5, 5)
+    assert not _branch_taken("jl", 5, 5)
+
+
+def test_unsigned_comparisons():
+    # 0xFFFFFFFF > 1 unsigned
+    assert _branch_taken("ja", 0xFFFFFFFF, 1)
+    assert _branch_taken("jb", 1, 0xFFFFFFFF)
+    assert _branch_taken("jae", 5, 5)
+    assert _branch_taken("jbe", 5, 5)
+
+
+def test_sign_flags():
+    assert _branch_taken("js", 1, 2)      # 1-2 negative
+    assert _branch_taken("jns", 2, 1)
+
+
+def test_signed_overflow_handled_in_jl():
+    # INT_MIN < 1: sub overflows, jl must still be taken
+    assert _branch_taken("jl", 0x80000000, 1)
+
+
+def test_test_sets_zero_flag():
+    f = run_fragment("""
+    mov r1, 0
+    mov r3, 0
+    test r1, r1
+    jne out
+    mov r3, 1
+out:
+""")
+    assert f.reg(3) == 1
+
+
+def test_call_ret():
+    f = run_fragment("""
+    mov r3, 0
+    call fn
+    add r3, r3, 100
+    jmp out
+fn:
+    mov r3, 5
+    ret
+out:
+""")
+    assert f.reg(3) == 105
+
+
+def test_nested_calls():
+    f = run_fragment("""
+    call a
+    jmp out
+a:
+    call bfn
+    add r3, r3, 1
+    ret
+bfn:
+    mov r3, 10
+    ret
+out:
+""")
+    assert f.reg(3) == 11
+
+
+# -- atomics ---------------------------------------------------------------------
+
+def test_xadd_returns_old_value():
+    f = run_fragment("    mov r1, 5\n    xadd [v], r1\n",
+                     data="v: .word 10\n")
+    assert f.reg(1) == 10
+    assert f.word("v") == 15
+
+
+def test_xchg_swaps():
+    f = run_fragment("    mov r1, 5\n    xchg [v], r1\n", data="v: .word 9\n")
+    assert f.reg(1) == 9
+    assert f.word("v") == 5
+
+
+def test_cmpxchg_success_sets_zf():
+    f = run_fragment("""
+    mov rax, 7
+    mov r1, 99
+    cmpxchg [v], r1
+    mov r3, 0
+    jne out
+    mov r3, 1
+out:
+""", data="v: .word 7\n")
+    assert f.reg(3) == 1
+    assert f.word("v") == 99
+
+
+def test_cmpxchg_failure_loads_rax():
+    f = run_fragment("""
+    mov rax, 8
+    mov r1, 99
+    cmpxchg [v], r1
+""", data="v: .word 7\n")
+    assert f.reg(0) == 7      # rax observed current value
+    assert f.word("v") == 7   # no store happened
+
+
+def test_atomics_fence():
+    f = run_fragment("    mov r1, 1\n    xadd [v], r1\n", data="v: .word 0\n")
+    assert f.port.fences == 1
+
+
+def test_mfence_calls_port_fence():
+    f = run_fragment("    mfence\n")
+    assert f.port.fences == 1
+
+
+def test_misaligned_atomic_faults():
+    fragment = Fragment(
+        ".data\nv: .word 0, 0\n.text\nmain:\n    mov r2, v\n"
+        "    add r2, r2, 2\n    mov r1, 1\n    xadd [r2], r1\n")
+    with pytest.raises(MachineFault):
+        fragment.run()
+
+
+# -- string instructions -----------------------------------------------------------
+
+def test_rep_movs_copies_words():
+    f = run_fragment("""
+    mov rcx, 4
+    mov rsi, src
+    mov rdi, dst
+    rep_movs
+""", data="src: .word 1, 2, 3, 4\ndst: .space 16\n")
+    assert [f.word("dst", i) for i in range(4)] == [1, 2, 3, 4]
+    assert f.reg(1) == 0  # rcx exhausted
+
+
+def test_rep_movs_zero_count_is_nop():
+    f = run_fragment("""
+    mov rcx, 0
+    mov rsi, src
+    mov rdi, dst
+    rep_movs
+""", data="src: .word 9\ndst: .word 0\n")
+    assert f.word("dst") == 0
+
+
+def test_rep_movs_counts_one_retirement():
+    f = run_fragment("""
+    mov rcx, 8
+    mov rsi, src
+    mov rdi, dst
+    rep_movs
+""", data="src: .space 32\ndst: .space 32\n")
+    # mov*3 + rep_movs + the halting syscall's trap does not retire
+    assert f.engine.retired == 4
+
+
+def test_rep_movs_progress_in_registers():
+    """One unit executes one iteration; architectural state carries progress."""
+    fragment = Fragment(
+        ".data\nsrc: .word 1, 2\ndst: .space 8\n.text\nmain:\n"
+        "    mov rcx, 2\n    mov rsi, src\n    mov rdi, dst\n    rep_movs\n"
+        "    syscall\n")
+    for _ in range(3):  # 3 movs
+        fragment.engine.step(fragment.port)
+    pc_before = fragment.engine.pc
+    fragment.engine.step(fragment.port)  # first iteration
+    assert fragment.engine.regs[1] == 1  # rcx decremented
+    assert fragment.engine.pc == pc_before  # instruction still in flight
+    assert fragment.engine.cur_memops == 2
+    fragment.engine.step(fragment.port)  # second iteration completes it
+    assert fragment.engine.pc == pc_before + 1
+    assert fragment.engine.cur_memops == 0
+
+
+def test_rep_stos_fills():
+    f = run_fragment("""
+    mov rax, 7
+    mov rcx, 3
+    mov rdi, dst
+    rep_stos
+""", data="dst: .space 12\n")
+    assert [f.word("dst", i) for i in range(3)] == [7, 7, 7]
+
+
+# -- traps ----------------------------------------------------------------------------
+
+def test_syscall_outcome_leaves_state_untouched():
+    fragment = Fragment(".text\nmain:\n    mov r1, 3\n    syscall\n")
+    fragment.engine.step(fragment.port)
+    pc = fragment.engine.pc
+    retired = fragment.engine.retired
+    assert fragment.engine.step(fragment.port) == OUTCOME_SYSCALL
+    assert fragment.engine.pc == pc
+    assert fragment.engine.retired == retired
+
+
+def test_nondet_outcome_and_complete_trap():
+    fragment = Fragment(".text\nmain:\n    rdtsc r5\n    syscall\n")
+    assert fragment.engine.step(fragment.port) == OUTCOME_NONDET
+    instr = fragment.engine.current_instr()
+    fragment.engine.complete_trap(instr.ops[0], 0xDEAD)
+    assert fragment.engine.regs[5] == 0xDEAD
+    assert fragment.engine.retired == 1
+
+
+def test_pc_off_end_faults():
+    fragment = Fragment(".text\nmain:\n    nop\n")
+    fragment.engine.step(fragment.port)
+    with pytest.raises(MachineFault):
+        fragment.engine.step(fragment.port)
+
+
+def test_misaligned_load_faults():
+    fragment = Fragment(".text\nmain:\n    mov r1, 2\n    load r2, [r1]\n")
+    with pytest.raises(MachineFault):
+        fragment.run()
+
+
+def test_context_save_restore_round_trip():
+    fragment = Fragment(".text\nmain:\n    mov r1, 5\n    cmp r1, 5\n    syscall\n")
+    fragment.run()
+    ctx = fragment.engine.save_context()
+    fragment.engine.regs[1] = 0
+    fragment.engine.zf = 0
+    fragment.engine.pc = 0
+    fragment.engine.restore_context(ctx)
+    assert fragment.engine.regs[1] == 5
+    assert fragment.engine.zf == 1
+    assert fragment.engine.pc == 2
+
+
+def test_load_hash_tracks_loaded_values():
+    f1 = run_fragment("    load r1, [v]\n", data="v: .word 5\n")
+    f2 = run_fragment("    load r1, [v]\n", data="v: .word 6\n")
+    assert f1.engine.load_hash != f2.engine.load_hash
+    assert f1.engine.loads == 1
+
+
+def test_store_counter():
+    f = run_fragment("    store [v], 3\n    push r1\n", data="v: .word 0\n")
+    assert f.engine.stores == 2

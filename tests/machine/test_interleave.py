@@ -1,0 +1,71 @@
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine.interleave import (
+    BurstyInterleaver,
+    RandomInterleaver,
+    RoundRobinInterleaver,
+    make_interleaver,
+)
+
+
+def test_random_deterministic_given_seed():
+    a = RandomInterleaver(7)
+    b = RandomInterleaver(7)
+    candidates = [0, 1, 2, 3]
+    assert [a.choose(candidates) for _ in range(50)] == \
+           [b.choose(candidates) for _ in range(50)]
+
+
+def test_random_differs_across_seeds():
+    a = [RandomInterleaver(1).choose([0, 1, 2, 3]) for _ in range(20)]
+    b = [RandomInterleaver(2).choose([0, 1, 2, 3]) for _ in range(20)]
+    # Not a strict guarantee, but 20 identical draws would be 1 in 4^20.
+    assert a != b
+
+
+def test_random_single_candidate_fast_path():
+    assert RandomInterleaver(0).choose([3]) == 3
+
+
+def test_round_robin_rotates():
+    rr = RoundRobinInterleaver()
+    candidates = [0, 1, 2]
+    assert [rr.choose(candidates) for _ in range(6)] == [0, 1, 2, 0, 1, 2]
+
+
+def test_round_robin_skips_missing():
+    rr = RoundRobinInterleaver()
+    assert rr.choose([0, 2]) == 0
+    assert rr.choose([0, 2]) == 2
+    assert rr.choose([1, 2]) == 1  # nothing past 2, wraps to the front
+    assert rr.choose([0, 2]) == 2
+
+
+def test_bursty_sticks_then_switches():
+    bursty = BurstyInterleaver(0, min_burst=3, max_burst=3)
+    picks = [bursty.choose([0, 1]) for _ in range(6)]
+    assert picks[0] == picks[1] == picks[2]
+    assert picks[3] == picks[4] == picks[5]
+
+
+def test_bursty_abandons_vanished_core():
+    bursty = BurstyInterleaver(0, min_burst=100, max_burst=100)
+    first = bursty.choose([0, 1])
+    other = 1 - first
+    assert bursty.choose([other]) == other
+
+
+def test_bursty_validates_bounds():
+    with pytest.raises(ConfigError):
+        BurstyInterleaver(0, min_burst=0)
+    with pytest.raises(ConfigError):
+        BurstyInterleaver(0, min_burst=5, max_burst=2)
+
+
+def test_factory_names():
+    assert isinstance(make_interleaver("random", 1), RandomInterleaver)
+    assert isinstance(make_interleaver("rr"), RoundRobinInterleaver)
+    assert isinstance(make_interleaver("bursty", 2), BurstyInterleaver)
+    with pytest.raises(ConfigError):
+        make_interleaver("chaotic")

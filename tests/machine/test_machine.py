@@ -1,0 +1,231 @@
+"""Machine-level behaviour: TSO visibility, drains, coherent copies."""
+
+import pytest
+
+from repro.config import MachineConfig, StoreBufferConfig
+from repro.errors import MachineFault
+from repro.isa.assembler import assemble
+from repro.machine.core import OUTCOME_SYSCALL
+from repro.machine.machine import Machine
+
+
+def make_machine(source: str, **machine_kwargs) -> Machine:
+    machine = Machine(MachineConfig(num_cores=2, memory_bytes=1 << 16,
+                                    **machine_kwargs))
+    machine.load_program(assemble(source))
+    return machine
+
+
+STORE_PROGRAM = """
+.data
+v: .word 0
+.text
+main:
+    mov r1, 7
+    store [v], r1
+    syscall
+"""
+
+
+def test_store_buffered_not_immediately_visible():
+    machine = make_machine(STORE_PROGRAM,
+                           store_buffer=StoreBufferConfig(entries=8,
+                                                          drain_period=1000))
+    machine.step_core(0)
+    machine.step_core(0)
+    addr = machine.program.symbol("v")
+    assert machine.memory.read_word(addr) == 0          # still in SB
+    assert len(machine.cores[0].store_buffer) == 1
+    machine.cores[0].drain_all()
+    assert machine.memory.read_word(addr) == 7
+
+
+def test_background_drain_makes_store_visible():
+    machine = make_machine(STORE_PROGRAM,
+                           store_buffer=StoreBufferConfig(entries=8,
+                                                          drain_period=2))
+    machine.step_core(0)
+    machine.step_core(0)  # store buffered; global_step hits drain period
+    addr = machine.program.symbol("v")
+    # after at most drain_period more steps the store must drain
+    machine.idle_tick()
+    machine.idle_tick()
+    assert machine.memory.read_word(addr) == 7
+
+
+def test_own_load_forwards_from_store_buffer():
+    source = """
+.data
+v: .word 0
+.text
+main:
+    mov r1, 7
+    store [v], r1
+    load r2, [v]
+    syscall
+"""
+    machine = make_machine(source,
+                           store_buffer=StoreBufferConfig(entries=8,
+                                                          drain_period=1000))
+    for _ in range(3):
+        machine.step_core(0)
+    assert machine.cores[0].engine.regs[2] == 7
+    assert len(machine.cores[0].store_buffer) == 1  # load didn't drain
+
+
+def test_other_core_does_not_see_buffered_store():
+    source = """
+.data
+v: .word 0
+.text
+main:
+    mov r1, 7
+    store [v], r1
+    syscall
+other:
+    load r2, [v]
+    syscall
+"""
+    machine = make_machine(source,
+                           store_buffer=StoreBufferConfig(entries=8,
+                                                          drain_period=1000))
+    machine.step_core(0)
+    machine.step_core(0)
+    machine.cores[1].engine.pc = machine.program.symbol("other")
+    machine.step_core(1)
+    assert machine.cores[1].engine.regs[2] == 0  # TSO: not yet visible
+
+
+def test_store_buffer_full_forces_oldest_drain():
+    source = ".data\nbuf: .space 64\n.text\nmain:\n" + "".join(
+        f"    store [buf + {4 * i}], {i + 1}\n" for i in range(5)) + "    syscall\n"
+    machine = make_machine(source,
+                           store_buffer=StoreBufferConfig(entries=4,
+                                                          drain_period=10_000))
+    for _ in range(5):
+        machine.step_core(0)
+    base = machine.program.symbol("buf")
+    assert machine.memory.read_word(base) == 1          # oldest forced out
+    assert machine.memory.read_word(base + 4) == 0      # rest still buffered
+    assert len(machine.cores[0].store_buffer) == 4
+
+
+def test_atomic_drains_store_buffer_first():
+    source = """
+.data
+v: .word 0
+w: .word 0
+.text
+main:
+    mov r1, 9
+    store [v], r1
+    mov r2, 1
+    xadd [w], r2
+    syscall
+"""
+    machine = make_machine(source,
+                           store_buffer=StoreBufferConfig(entries=8,
+                                                          drain_period=10_000))
+    for _ in range(4):
+        machine.step_core(0)
+    assert machine.memory.read_word(machine.program.symbol("v")) == 9
+    assert machine.cores[0].store_buffer.empty
+
+
+def test_partial_forward_conflict_drains():
+    source = """
+.data
+v: .word 0
+.text
+main:
+    mov r1, 0xFF
+    storeb [v + 1], r1
+    load r2, [v]
+    syscall
+"""
+    machine = make_machine(source,
+                           store_buffer=StoreBufferConfig(entries=8,
+                                                          drain_period=10_000))
+    for _ in range(3):
+        machine.step_core(0)
+    assert machine.cores[0].engine.regs[2] == 0xFF00
+    assert machine.cores[0].store_buffer.empty
+
+
+def test_coherent_copy_visible_and_invalidates():
+    machine = make_machine(STORE_PROGRAM)
+    addr = machine.program.symbol("v")
+    # prime core 1's cache with the line
+    line = machine.config.cache.line_of(addr)
+    machine.cores[1].cache.fill(line, "E")
+    machine.coherent_copy(machine.cores[0], addr, b"\x2a\x00\x00\x00")
+    assert machine.memory.read_word(addr) == 42
+    assert machine.cores[1].cache.state(line) is None
+
+
+def test_coherent_copy_empty_is_noop():
+    machine = make_machine(STORE_PROGRAM)
+    before = machine.bus.stats.transactions
+    machine.coherent_copy(machine.cores[0], 0, b"")
+    assert machine.bus.stats.transactions == before
+
+
+def test_coherent_copy_spanning_lines():
+    machine = make_machine(STORE_PROGRAM)
+    data = bytes(range(100))
+    machine.coherent_copy(machine.cores[0], 60, data)
+    assert machine.memory.read(60, 100) == data
+
+
+def test_cycles_accumulate():
+    machine = make_machine(STORE_PROGRAM)
+    machine.step_core(0)
+    assert machine.cores[0].cycles >= 1
+    assert machine.total_cycles == sum(c.cycles for c in machine.cores)
+
+
+def test_cache_miss_charged_more_than_hit():
+    source = """
+.data
+v: .word 0
+.text
+main:
+    load r1, [v]
+    load r2, [v]
+    syscall
+"""
+    machine = make_machine(source)
+    machine.step_core(0)
+    miss_cycles = machine.cores[0].cycles
+    machine.step_core(0)
+    hit_cycles = machine.cores[0].cycles - miss_cycles
+    assert miss_cycles > hit_cycles
+
+
+def test_fault_annotated_with_core():
+    source = ".text\nmain:\n    mov r1, 2\n    load r2, [r1]\n"
+    machine = make_machine(source)
+    machine.step_core(0)
+    with pytest.raises(MachineFault) as err:
+        machine.step_core(0)
+    assert err.value.core_id == 0
+
+
+def test_step_without_program_faults():
+    machine = Machine(MachineConfig(num_cores=1, memory_bytes=1 << 12))
+    with pytest.raises(MachineFault):
+        machine.step_core(0)
+
+
+def test_stats_dict_shape():
+    machine = make_machine(STORE_PROGRAM)
+    machine.step_core(0)
+    stats = machine.stats_dict()
+    assert stats["global_steps"] == 1
+    assert len(stats["cores"]) == 2
+    assert "bus" in stats
+
+
+def test_syscall_outcome_propagates():
+    machine = make_machine(".text\nmain:\n    syscall\n")
+    assert machine.step_core(0) == OUTCOME_SYSCALL

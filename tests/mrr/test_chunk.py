@@ -1,0 +1,39 @@
+import pytest
+
+from repro.mrr.chunk import ChunkEntry, Reason
+
+
+def test_reason_tables_consistent():
+    assert set(Reason.CODES) == set(Reason.ALL)
+    for name, code in Reason.CODES.items():
+        assert Reason.NAMES[code] == name
+
+
+def test_conflicts_subset_of_hardware():
+    assert set(Reason.CONFLICTS) <= set(Reason.HARDWARE)
+    assert not set(Reason.KERNEL_ENTRY) & set(Reason.HARDWARE)
+
+
+def test_entry_is_conflict():
+    entry = ChunkEntry(1, 10, 5, 0, 0, Reason.RAW)
+    assert entry.is_conflict
+    assert not ChunkEntry(1, 10, 5, 0, 0, Reason.SYSCALL).is_conflict
+
+
+def test_sort_key_orders_by_timestamp_then_thread():
+    a = ChunkEntry(2, 10, 5, 0, 0, Reason.RAW)
+    b = ChunkEntry(1, 11, 5, 0, 0, Reason.RAW)
+    c = ChunkEntry(1, 10, 5, 0, 0, Reason.RAW)
+    assert sorted([a, b, c], key=lambda e: e.sort_key) == [c, a, b]
+
+
+def test_unknown_reason_rejected():
+    with pytest.raises(ValueError):
+        ChunkEntry(1, 10, 5, 0, 0, "coffee")
+
+
+def test_negative_fields_rejected():
+    with pytest.raises(ValueError):
+        ChunkEntry(1, -1, 5, 0, 0, Reason.RAW)
+    with pytest.raises(ValueError):
+        ChunkEntry(1, 1, 5, 0, -2, Reason.RAW)

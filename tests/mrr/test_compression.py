@@ -1,0 +1,70 @@
+import pytest
+
+from repro.errors import LogFormatError
+from repro.mrr.chunk import ChunkEntry, Reason
+from repro.mrr.compression import (
+    compress_chunks,
+    compressed_size,
+    decompress_chunks,
+)
+from repro.mrr.logfmt import encode_chunks
+
+
+def make_log(threads=3, per_thread=50):
+    entries = []
+    ts = 0
+    for index in range(threads * per_thread):
+        ts += 1 + (index % 3)
+        entries.append(ChunkEntry(
+            rthread=1 + index % threads,
+            timestamp=ts,
+            icount=100 + index % 7,
+            memops=0,
+            rsw=index % 2,
+            reason=Reason.ALL[index % len(Reason.ALL)],
+        ))
+    return entries
+
+
+def test_round_trip_equals_sorted_original():
+    entries = make_log()
+    decoded = decompress_chunks(compress_chunks(entries))
+    assert decoded == sorted(entries, key=lambda e: e.sort_key)
+
+
+def test_round_trip_without_zlib():
+    entries = make_log()
+    blob = compress_chunks(entries, use_zlib=False)
+    assert decompress_chunks(blob) == sorted(entries, key=lambda e: e.sort_key)
+
+
+def test_compression_beats_raw_format():
+    entries = make_log(threads=4, per_thread=200)
+    raw = len(encode_chunks(entries))
+    compressed = compressed_size(entries)
+    assert compressed < raw / 3
+
+
+def test_empty_log():
+    assert decompress_chunks(compress_chunks([])) == []
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(LogFormatError):
+        decompress_chunks(b"XXXX\x00")
+
+
+def test_out_of_order_stream_entries_handled():
+    # CBUF drain order can interleave a migrating thread's entries; the
+    # compressor must reorder per-thread streams by timestamp.
+    entries = [
+        ChunkEntry(1, 10, 1, 0, 0, Reason.RAW),
+        ChunkEntry(1, 5, 1, 0, 0, Reason.EXIT),
+    ]
+    decoded = decompress_chunks(compress_chunks(entries))
+    assert [entry.timestamp for entry in decoded] == [5, 10]
+
+
+def test_large_values_round_trip():
+    entries = [ChunkEntry(1, 2**31, 2**30, 1000, 60_000, Reason.SIZE)]
+    assert decompress_chunks(compress_chunks(entries)) == entries

@@ -1,0 +1,65 @@
+import pytest
+
+from repro.mrr.hashing import H3Hasher, shared_hasher
+
+
+def test_indices_in_range():
+    hasher = H3Hasher(buckets=64, num_hashes=3)
+    for key in (0, 1, 0xFFFFFFFF, 0x12345678):
+        for index in hasher.indices(key):
+            assert 0 <= index < 64
+
+
+def test_deterministic_across_instances():
+    a = H3Hasher(64, 2, seed=42)
+    b = H3Hasher(64, 2, seed=42)
+    for key in range(0, 4096, 64):
+        assert a.indices(key) == b.indices(key)
+
+
+def test_different_seeds_differ():
+    a = H3Hasher(1024, 2, seed=1)
+    b = H3Hasher(1024, 2, seed=2)
+    assert any(a.indices(k) != b.indices(k) for k in range(0, 64 * 64, 64))
+
+
+def test_zero_key_hashes_to_zero_masks():
+    # H3 of 0 XORs nothing: always index 0 for every function.
+    hasher = H3Hasher(64, 4)
+    assert hasher.indices(0) == (0, 0, 0, 0)
+
+
+def test_linearity_property():
+    # H3 is XOR-linear: h(a ^ b) == h(a) ^ h(b)
+    hasher = H3Hasher(256, 2)
+    for a, b in ((0x40, 0x80), (0x1234, 0xABCD), (1, 2)):
+        combined = hasher.indices(a ^ b)
+        expected = tuple(x ^ y for x, y in zip(hasher.indices(a),
+                                               hasher.indices(b)))
+        assert combined == expected
+
+
+def test_memoization_returns_same_tuple():
+    hasher = H3Hasher(64, 2)
+    assert hasher.indices(0x40) is hasher.indices(0x40)
+
+
+def test_shared_hasher_reuses_instances():
+    assert shared_hasher(128, 2) is shared_hasher(128, 2)
+    assert shared_hasher(128, 2) is not shared_hasher(256, 2)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        H3Hasher(100, 2)  # not a power of two
+    with pytest.raises(ValueError):
+        H3Hasher(64, 0)
+    with pytest.raises(ValueError):
+        H3Hasher(64, 9)
+
+
+def test_distribution_not_degenerate():
+    hasher = H3Hasher(64, 1)
+    seen = {hasher.indices(line)[0] for line in range(0, 64 * 256, 64)}
+    # 256 distinct lines should hit a healthy spread of 64 buckets.
+    assert len(seen) > 32

@@ -1,0 +1,80 @@
+import pytest
+
+from repro.errors import LogFormatError
+from repro.mrr.chunk import ChunkEntry, Reason
+from repro.mrr.logfmt import (
+    ENTRY_BYTES,
+    decode_chunks,
+    encode_chunks,
+    encoded_size,
+)
+
+
+def sample_entries():
+    return [
+        ChunkEntry(1, 10, 500, 0, 0, Reason.RAW),
+        ChunkEntry(2, 11, 3, 4, 2, Reason.WAW),
+        ChunkEntry(1, 12, 0, 0, 0, Reason.SYSCALL),
+        ChunkEntry(3, 99, 70_000, 0, 1, Reason.SIZE),
+    ]
+
+
+def test_round_trip():
+    entries = sample_entries()
+    assert decode_chunks(encode_chunks(entries)) == entries
+
+
+def test_round_trip_with_load_hash():
+    entries = [ChunkEntry(1, 10, 5, 0, 0, Reason.RAW, load_hash=0xDEADBEEF)]
+    decoded = decode_chunks(encode_chunks(entries, with_load_hash=True))
+    assert decoded[0].load_hash == 0xDEADBEEF
+
+
+def test_entry_is_16_bytes():
+    assert ENTRY_BYTES == 16
+    blob = encode_chunks(sample_entries())
+    assert len(blob) == 12 + 4 * 16
+
+
+def test_encoded_size_matches():
+    entries = sample_entries()
+    assert encoded_size(entries) == len(encode_chunks(entries))
+
+
+def test_empty_stream():
+    assert decode_chunks(encode_chunks([])) == []
+
+
+def test_bad_magic_rejected():
+    blob = bytearray(encode_chunks(sample_entries()))
+    blob[0] = ord("X")
+    with pytest.raises(LogFormatError):
+        decode_chunks(bytes(blob))
+
+
+def test_truncated_stream_rejected():
+    blob = encode_chunks(sample_entries())
+    with pytest.raises(LogFormatError):
+        decode_chunks(blob[:-1])
+
+
+def test_truncated_header_rejected():
+    with pytest.raises(LogFormatError):
+        decode_chunks(b"QR")
+
+
+def test_rthread_width_enforced():
+    with pytest.raises(LogFormatError):
+        encode_chunks([ChunkEntry(300, 1, 1, 0, 0, Reason.RAW)])
+
+
+def test_rsw_width_enforced():
+    with pytest.raises(LogFormatError):
+        encode_chunks([ChunkEntry(1, 1, 1, 0, 70_000, Reason.RAW)])
+
+
+def test_unknown_reason_code_rejected():
+    blob = bytearray(encode_chunks([ChunkEntry(1, 1, 1, 0, 0, Reason.RAW)]))
+    blob[12 + 1] = 250  # reason byte of the first entry
+    with pytest.raises(LogFormatError):
+        decode_chunks(bytes(blob))

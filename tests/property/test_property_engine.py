@@ -1,0 +1,114 @@
+"""Differential testing of ALU/flag semantics against Python references."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import run_fragment
+
+MASK = 0xFFFFFFFF
+U32 = st.integers(min_value=0, max_value=MASK)
+
+
+def signed(x):
+    return x - (1 << 32) if x & 0x80000000 else x
+
+
+_REFERENCE = {
+    "add": lambda a, b: (a + b) & MASK,
+    "sub": lambda a, b: (a - b) & MASK,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: (a << (b & 31)) & MASK,
+    "shr": lambda a, b: a >> (b & 31),
+    "sar": lambda a, b: (signed(a) >> (b & 31)) & MASK,
+    "mul": lambda a, b: (a * b) & MASK,
+}
+
+
+@given(op=st.sampled_from(sorted(_REFERENCE)), a=U32, b=U32)
+@settings(max_examples=150, deadline=None)
+def test_alu_matches_reference(op, a, b):
+    fragment = run_fragment(
+        f"    mov r1, {a}\n    mov r2, {b}\n    {op} r3, r1, r2\n")
+    assert fragment.reg(3) == _REFERENCE[op](a, b)
+
+
+@given(a=U32, b=st.integers(min_value=1, max_value=MASK))
+@settings(max_examples=60, deadline=None)
+def test_div_mod_unsigned(a, b):
+    fragment = run_fragment(
+        f"    mov r1, {a}\n    mov r2, {b}\n"
+        "    div r3, r1, r2\n    mod r4, r1, r2\n")
+    assert fragment.reg(3) == a // b
+    assert fragment.reg(4) == a % b
+
+
+_BRANCH_REFERENCE = {
+    "je": lambda a, b: a == b,
+    "jne": lambda a, b: a != b,
+    "jl": lambda a, b: signed(a) < signed(b),
+    "jle": lambda a, b: signed(a) <= signed(b),
+    "jg": lambda a, b: signed(a) > signed(b),
+    "jge": lambda a, b: signed(a) >= signed(b),
+    "jb": lambda a, b: a < b,
+    "jbe": lambda a, b: a <= b,
+    "ja": lambda a, b: a > b,
+    "jae": lambda a, b: a >= b,
+}
+
+
+@given(cond=st.sampled_from(sorted(_BRANCH_REFERENCE)), a=U32, b=U32)
+@settings(max_examples=200, deadline=None)
+def test_conditional_branches_match_comparison_semantics(cond, a, b):
+    fragment = run_fragment(f"""
+    mov r1, {a}
+    mov r2, {b}
+    mov r3, 0
+    cmp r1, r2
+    {cond} yes
+    jmp out
+yes:
+    mov r3, 1
+out:
+""")
+    assert bool(fragment.reg(3)) == _BRANCH_REFERENCE[cond](a, b)
+
+
+@given(value=U32, addend=U32)
+@settings(max_examples=60, deadline=None)
+def test_xadd_semantics(value, addend):
+    fragment = run_fragment(
+        f"    mov r1, {addend}\n    xadd [v], r1\n",
+        data=f"v: .word {value}\n")
+    assert fragment.reg(1) == value
+    assert fragment.word("v") == (value + addend) & MASK
+
+
+@given(current=U32, expected=U32, new=U32)
+@settings(max_examples=80, deadline=None)
+def test_cmpxchg_semantics(current, expected, new):
+    fragment = run_fragment(
+        f"    mov rax, {expected}\n    mov r1, {new}\n    cmpxchg [v], r1\n",
+        data=f"v: .word {current}\n")
+    if current == expected:
+        assert fragment.word("v") == new
+        assert fragment.engine.zf == 1
+    else:
+        assert fragment.word("v") == current
+        assert fragment.reg(0) == current
+        assert fragment.engine.zf == 0
+
+
+@given(words=st.lists(U32, min_size=1, max_size=12))
+@settings(max_examples=40, deadline=None)
+def test_rep_movs_copies_arbitrary_blocks(words):
+    data = "src:\n" + "".join(f"    .word {w}\n" for w in words)
+    data += f"dst: .space {4 * len(words)}\n"
+    fragment = run_fragment(f"""
+    mov rcx, {len(words)}
+    mov rsi, src
+    mov rdi, dst
+    rep_movs
+""", data=data)
+    assert [fragment.word("dst", i) for i in range(len(words))] == words

@@ -1,0 +1,88 @@
+"""Serialization round-trips for arbitrary well-formed logs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.capo.events import InputEvent, KINDS, NONDET_KINDS
+from repro.capo.input_log import decode_events, encode_events
+from repro.mrr.chunk import ChunkEntry, Reason
+from repro.mrr.compression import compress_chunks, decompress_chunks
+from repro.mrr.logfmt import decode_chunks, encode_chunks
+
+u16 = st.integers(min_value=0, max_value=0xFFFF)
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+u8 = st.integers(min_value=0, max_value=0xFF)
+
+chunk_strategy = st.builds(
+    ChunkEntry,
+    rthread=u8,
+    timestamp=u32,
+    icount=u32,
+    memops=u32,
+    rsw=u16,
+    reason=st.sampled_from(Reason.ALL),
+)
+
+copies_strategy = st.lists(
+    st.tuples(u32, st.binary(max_size=64)), max_size=3).map(tuple)
+
+event_strategy = st.builds(
+    InputEvent,
+    rthread=u8,
+    seq=u32,
+    chunk_seq=u32,
+    kind=st.sampled_from(KINDS),
+    sysno=st.integers(min_value=0, max_value=64),
+    value=u32,
+    nondet_kind=st.sampled_from(NONDET_KINDS),
+    copies=copies_strategy,
+)
+
+
+@given(entries=st.lists(chunk_strategy, max_size=60))
+@settings(max_examples=80, deadline=None)
+def test_packed_chunk_round_trip(entries):
+    assert decode_chunks(encode_chunks(entries)) == entries
+
+
+@given(entries=st.lists(chunk_strategy, max_size=60),
+       hashes=st.lists(st.integers(min_value=0, max_value=2**64 - 1),
+                       max_size=60))
+@settings(max_examples=40, deadline=None)
+def test_packed_chunk_round_trip_with_hashes(entries, hashes):
+    import dataclasses
+
+    entries = [dataclasses.replace(entry, load_hash=hashes[i % max(1, len(hashes))]
+                                   if hashes else 0)
+               for i, entry in enumerate(entries)]
+    decoded = decode_chunks(encode_chunks(entries, with_load_hash=True))
+    assert decoded == entries
+
+
+def make_monotone(entries):
+    """Rewrite timestamps so per-thread streams are strictly increasing
+    (the recorder invariant compression relies on)."""
+    import dataclasses
+
+    counters: dict[int, int] = {}
+    out = []
+    for entry in entries:
+        ts = counters.get(entry.rthread, 0) + 1 + entry.timestamp % 7
+        counters[entry.rthread] = ts
+        out.append(dataclasses.replace(entry, timestamp=ts))
+    return out
+
+
+@given(entries=st.lists(chunk_strategy, max_size=80))
+@settings(max_examples=60, deadline=None)
+def test_compressed_chunk_round_trip(entries):
+    entries = make_monotone(entries)
+    decoded = decompress_chunks(compress_chunks(entries))
+    assert sorted(decoded, key=lambda e: (e.rthread, e.timestamp)) == \
+           sorted(entries, key=lambda e: (e.rthread, e.timestamp))
+
+
+@given(events=st.lists(event_strategy, max_size=40))
+@settings(max_examples=80, deadline=None)
+def test_input_log_round_trip(events):
+    assert decode_events(encode_events(events)) == events

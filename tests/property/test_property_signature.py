@@ -1,0 +1,54 @@
+"""Bloom signatures must never produce false negatives — the property
+replay soundness rests on."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mrr.signature import BloomSignature
+
+lines = st.integers(min_value=0, max_value=1 << 20).map(lambda x: x * 64)
+
+
+@given(inserted=st.sets(lines, max_size=200),
+       bits=st.sampled_from([64, 256, 1024]),
+       hashes=st.sampled_from([1, 2, 4]))
+@settings(max_examples=60, deadline=None)
+def test_no_false_negatives(inserted, bits, hashes):
+    sig = BloomSignature(bits, hashes)
+    for line in inserted:
+        sig.insert(line)
+    assert all(sig.test(line) for line in inserted)
+
+
+@given(inserted=st.sets(lines, min_size=1, max_size=50))
+@settings(max_examples=40, deadline=None)
+def test_clear_forgets_everything(inserted):
+    sig = BloomSignature(256, 2)
+    for line in inserted:
+        sig.insert(line)
+    sig.clear()
+    assert sig.empty
+    assert sig.bits_set == 0
+
+
+@given(inserted=st.lists(lines, max_size=100))
+@settings(max_examples=40, deadline=None)
+def test_bits_set_matches_popcount(inserted):
+    sig = BloomSignature(512, 2)
+    for line in inserted:
+        sig.insert(line)
+    assert sig.bits_set == bin(sig._word).count("1")
+    assert 0.0 <= sig.saturation <= 1.0
+
+
+@given(first=st.sets(lines, max_size=60), second=st.sets(lines, max_size=60))
+@settings(max_examples=40, deadline=None)
+def test_insertion_monotone(first, second):
+    """Adding more keys never removes a positive."""
+    sig = BloomSignature(256, 2)
+    for line in first:
+        sig.insert(line)
+    positives = {line for line in first | second if sig.test(line)}
+    for line in second:
+        sig.insert(line)
+    assert all(sig.test(line) for line in positives)

@@ -1,0 +1,66 @@
+"""Store-buffer forwarding vs a brute-force byte-level reference."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.store_buffer import StoreBuffer
+
+store_strategy = st.tuples(
+    st.integers(min_value=0, max_value=12),        # addr
+    st.sampled_from([1, 4]),                       # size
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+)
+load_strategy = st.tuples(
+    st.integers(min_value=0, max_value=12),
+    st.sampled_from([1, 4]),
+)
+
+
+def reference_resolve(entries, addr, size):
+    """Byte-accurate reference: forwarding succeeds iff every loaded byte's
+    youngest writer is one single entry that covers the whole load."""
+    for entry_addr, entry_size, value in reversed(entries):
+        covers = entry_addr <= addr and addr + size <= entry_addr + entry_size
+        overlaps = entry_addr < addr + size and addr < entry_addr + entry_size
+        if covers:
+            shift = 8 * (addr - entry_addr)
+            mask = (1 << (8 * size)) - 1
+            return "hit", (value >> shift) & mask
+        if overlaps:
+            return "conflict", None
+    return "miss", None
+
+
+@given(stores=st.lists(store_strategy, max_size=8), load=load_strategy)
+@settings(max_examples=300, deadline=None)
+def test_resolve_matches_reference(stores, load):
+    sb = StoreBuffer(capacity=8)
+    kept = []
+    for addr, size, value in stores:
+        sb.push(addr, size, value)
+        kept.append((addr, size, value & 0xFFFFFFFF))
+    addr, size = load
+    assert sb.resolve(addr, size) == reference_resolve(kept, addr, size)
+
+
+@given(stores=st.lists(store_strategy, min_size=1, max_size=8))
+@settings(max_examples=100, deadline=None)
+def test_drain_preserves_fifo_order(stores):
+    sb = StoreBuffer(capacity=8)
+    for addr, size, value in stores:
+        sb.push(addr, size, value)
+    drained = []
+    while not sb.empty:
+        drained.append(sb.pop_oldest())
+    assert [(e.addr, e.size, e.value) for e in drained] == \
+        [(a, s, v & 0xFFFFFFFF) for a, s, v in stores]
+
+
+@given(stores=st.lists(store_strategy, max_size=8))
+@settings(max_examples=100, deadline=None)
+def test_len_tracks_pushes(stores):
+    sb = StoreBuffer(capacity=8)
+    for index, (addr, size, value) in enumerate(stores):
+        sb.push(addr, size, value)
+        assert len(sb) == index + 1
+    assert sb.full == (len(stores) == 8)

@@ -1,0 +1,88 @@
+import pytest
+
+from repro.errors import ReplayDivergenceError
+from repro.machine.memory import PhysicalMemory
+from repro.replay.pending import ReplayPort, WithheldStores
+
+
+@pytest.fixture
+def memory():
+    return PhysicalMemory(256)
+
+
+def test_stores_withheld_until_commit(memory):
+    withheld = WithheldStores(memory)
+    withheld.push(0, 4, 7)
+    assert memory.read_word(0) == 0
+    withheld.commit_all()
+    assert memory.read_word(0) == 7
+    assert len(withheld) == 0
+
+
+def test_commit_keep_last_commits_oldest(memory):
+    withheld = WithheldStores(memory)
+    withheld.push(0, 4, 1)
+    withheld.push(4, 4, 2)
+    withheld.push(8, 4, 3)
+    withheld.commit_keep_last(1)
+    assert memory.read_word(0) == 1
+    assert memory.read_word(4) == 2
+    assert memory.read_word(8) == 0  # youngest still withheld
+    assert len(withheld) == 1
+
+
+def test_commit_keep_last_overflow_is_divergence(memory):
+    withheld = WithheldStores(memory)
+    with pytest.raises(ReplayDivergenceError):
+        withheld.commit_keep_last(1)
+
+
+def test_forwarding_matches_store_buffer_semantics(memory):
+    withheld = WithheldStores(memory)
+    withheld.push(0, 4, 0x11223344)
+    assert withheld.resolve(0, 4) == ("hit", 0x11223344)
+    assert withheld.resolve(2, 1) == ("hit", 0x22)
+    assert withheld.resolve(8, 4) == ("miss", None)
+    withheld.push(1, 1, 0xFF)
+    assert withheld.resolve(0, 4) == ("conflict", None)
+
+
+def test_port_load_forwards(memory):
+    withheld = WithheldStores(memory)
+    port = ReplayPort(memory, withheld)
+    port.store(0, 4, 42)
+    assert port.load(0, 4) == 42
+    assert memory.read_word(0) == 0  # still not visible
+
+
+def test_port_load_conflict_commits_all(memory):
+    withheld = WithheldStores(memory)
+    port = ReplayPort(memory, withheld)
+    port.store(1, 1, 0xAB)
+    assert port.load(0, 4) == 0xAB00
+    assert len(withheld) == 0
+
+
+def test_port_fence_commits(memory):
+    withheld = WithheldStores(memory)
+    port = ReplayPort(memory, withheld)
+    port.store(0, 4, 5)
+    port.fence()
+    assert memory.read_word(0) == 5
+
+
+def test_port_atomics_direct(memory):
+    withheld = WithheldStores(memory)
+    port = ReplayPort(memory, withheld)
+    port.atomic_store(0, 4, 9)
+    assert port.atomic_load(0, 4) == 9
+    assert memory.read_word(0) == 9
+
+
+def test_port_byte_paths(memory):
+    withheld = WithheldStores(memory)
+    port = ReplayPort(memory, withheld)
+    port.store(3, 1, 0x7F)
+    assert port.load(3, 1) == 0x7F
+    withheld.commit_all()
+    assert memory.read_byte(3) == 0x7F

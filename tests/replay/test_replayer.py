@@ -1,0 +1,186 @@
+"""Replayer behaviour: fidelity on crafted programs and divergence
+detection on corrupted logs."""
+
+import dataclasses
+
+import pytest
+
+from repro import session
+from repro.capo.events import EV_SYSCALL
+from repro.errors import ReplayDivergenceError
+from repro.isa.builder import KernelBuilder, SYS_SIGACTION, SYS_KILL, SYS_GETTID, SYS_SIGRETURN
+from repro.mrr.chunk import Reason
+from repro.replay.replayer import Replayer
+
+
+def racy_program():
+    b = KernelBuilder()
+    b.word("shared", 0)
+    b.word("out", 0)
+    b.space("stack", 2048)
+    b.label("main")
+    b.ins("mov", "r9", "stack")
+    b.ins("add", "r9", "r9", 2032)
+    b.spawn("worker", "r9", 0)
+    with b.for_range("r6", 0, 60):
+        b.ins("load", "r7", "[shared]")
+        b.ins("add", "r7", "r7", 1)
+        b.ins("store", "[shared]", "r7")
+    w = b.label("join")
+    b.ins("pause")
+    b.ins("load", "r7", "[out]")
+    b.ins("test", "r7", "r7")
+    b.ins("je", w)
+    b.exit(0)
+    b.label("worker")
+    with b.for_range("r6", 0, 60):
+        b.ins("load", "r7", "[shared]")
+        b.ins("add", "r7", "r7", 2)
+        b.ins("store", "[shared]", "r7")
+    b.ins("store", "[out]", 1)
+    b.exit(0)
+    return b.build("racy")
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    return session.record(racy_program(), seed=11)
+
+
+def test_replay_matches_recording(recorded):
+    result = session.replay_recording(recorded.recording)
+    assert session.verify(recorded, result).ok
+
+
+def test_replay_stats_populated(recorded):
+    result = session.replay_recording(recorded.recording)
+    assert result.stats.chunks == len(recorded.recording.chunks)
+    assert result.stats.events == len(recorded.recording.events)
+    assert result.stats.units > 0
+
+
+def test_replay_is_idempotent(recorded):
+    first = session.replay_recording(recorded.recording)
+    second = session.replay_recording(recorded.recording)
+    assert first.final_memory_digest == second.final_memory_digest
+
+
+def _mutate(recording, **changes):
+    clone = dataclasses.replace(recording)
+    for key, value in changes.items():
+        setattr(clone, key, value)
+    return clone
+
+
+def test_dropped_chunk_detected(recorded):
+    recording = recorded.recording
+    broken = _mutate(recording, chunks=recording.chunks[:-1])
+    with pytest.raises(ReplayDivergenceError):
+        Replayer(broken).run()
+
+
+def test_corrupted_icount_detected(recorded):
+    recording = recorded.recording
+    chunks = list(recording.chunks)
+    victim = max(range(len(chunks)), key=lambda i: chunks[i].icount)
+    chunks[victim] = dataclasses.replace(chunks[victim],
+                                         icount=chunks[victim].icount + 1)
+    with pytest.raises(ReplayDivergenceError):
+        Replayer(_mutate(recording, chunks=chunks)).run()
+
+
+def test_corrupted_rsw_detected(recorded):
+    recording = recorded.recording
+    chunks = list(recording.chunks)
+    index = next(i for i, c in enumerate(chunks)
+                 if c.reason in Reason.CONFLICTS)
+    chunks[index] = dataclasses.replace(chunks[index], rsw=60_000 & 0xFFFF)
+    with pytest.raises(ReplayDivergenceError):
+        Replayer(_mutate(recording, chunks=chunks)).run()
+
+
+def test_dropped_event_detected(recorded):
+    recording = recorded.recording
+    broken = _mutate(recording, events=recording.events[:-1])
+    with pytest.raises(ReplayDivergenceError):
+        Replayer(broken).run()
+
+
+def test_event_kind_mismatch_detected(recorded):
+    recording = recorded.recording
+    events = list(recording.events)
+    index = next(i for i, e in enumerate(events) if e.kind == EV_SYSCALL)
+    events[index] = dataclasses.replace(events[index], kind="signal", sysno=0,
+                                        copies=())
+    with pytest.raises(ReplayDivergenceError):
+        Replayer(_mutate(recording, events=events)).run()
+
+
+def test_wrong_syscall_retval_changes_behaviour_or_state(recorded):
+    """Retval corruption must never silently verify."""
+    recording = recorded.recording
+    events = list(recording.events)
+    index = next(i for i, e in enumerate(events)
+                 if e.kind == EV_SYSCALL and e.sysno == 4)  # spawn retval
+    events[index] = dataclasses.replace(events[index], value=55)
+    broken = _mutate(recording, events=events)
+    with pytest.raises(ReplayDivergenceError):
+        Replayer(broken).run()
+
+
+def test_swapped_thread_chunks_detected(recorded):
+    recording = recorded.recording
+    chunks = list(recording.chunks)
+    # give one of thread 2's chunks to thread 1
+    index = next(i for i, c in enumerate(chunks)
+                 if c.rthread == 2 and c.reason in Reason.CONFLICTS)
+    chunks[index] = dataclasses.replace(chunks[index], rthread=1)
+    with pytest.raises(ReplayDivergenceError):
+        Replayer(_mutate(recording, chunks=chunks)).run()
+
+
+def test_load_hash_divergence_pinpoints_chunk():
+    from repro.config import MRRConfig, SimConfig
+
+    config = SimConfig(mrr=MRRConfig(log_load_hash=True))
+    outcome = session.record(racy_program(), seed=4, config=config)
+    recording = outcome.recording
+    assert any(chunk.load_hash for chunk in recording.chunks)
+    result = session.replay_recording(recording)
+    assert session.verify(outcome, result).ok
+    # now flip one recorded hash: replay must stop at that exact chunk
+    chunks = list(recording.chunks)
+    victim = max(range(len(chunks)), key=lambda i: chunks[i].icount)
+    chunks[victim] = dataclasses.replace(
+        chunks[victim], load_hash=(chunks[victim].load_hash or 0) ^ 1)
+    broken = _mutate(recording, chunks=chunks)
+    with pytest.raises(ReplayDivergenceError) as err:
+        Replayer(broken).run()
+    assert "hash" in str(err.value)
+
+
+def test_signal_replay_with_handlers():
+    b = KernelBuilder()
+    b.word("hits", 0)
+    b.label("main")
+    b.syscall(SYS_SIGACTION, 10, "handler")
+    b.syscall(SYS_GETTID)
+    b.ins("mov", "r11", "rax")
+    with b.for_range("r6", 0, 5):
+        b.ins("push", "r6")
+        b.syscall(SYS_KILL, "r11", 10)
+        b.ins("pop", "r6")
+    b.exit(0)
+    b.label("handler")
+    b.ins("load", "r7", "[hits]")
+    b.ins("add", "r7", "r7", 1)
+    b.ins("store", "[hits]", "r7")
+    b.syscall(SYS_SIGRETURN)
+    outcome, result, report = session.record_and_replay(b.build("sig"), seed=2)
+    assert report.ok
+    assert result.stats.signals == 5
+
+
+def test_exit_codes_collected(recorded):
+    result = session.replay_recording(recorded.recording)
+    assert result.exit_codes == recorded.exit_codes

@@ -1,0 +1,61 @@
+import pytest
+
+from repro.errors import ReplayDivergenceError
+from repro.mrr.chunk import ChunkEntry, Reason
+from repro.replay.schedule import build_schedule, validate_schedule
+
+
+def chunk(rthread, ts, reason=Reason.RAW, rsw=0):
+    return ChunkEntry(rthread, ts, 1, 0, rsw, reason)
+
+
+def good_log():
+    return [
+        chunk(1, 1),
+        chunk(2, 2),
+        chunk(1, 3, Reason.SYSCALL),
+        chunk(2, 4, Reason.EXIT),
+        chunk(1, 5, Reason.EXIT),
+    ]
+
+
+def test_build_schedule_sorts_by_timestamp():
+    schedule = build_schedule(list(reversed(good_log())))
+    assert [c.timestamp for c in schedule] == [1, 2, 3, 4, 5]
+
+
+def test_validate_accepts_good_log():
+    validate_schedule(build_schedule(good_log()))
+
+
+def test_non_monotone_thread_timestamps_rejected():
+    log = [chunk(1, 5), chunk(1, 5, Reason.EXIT)]
+    with pytest.raises(ReplayDivergenceError):
+        validate_schedule(log)
+
+
+def test_kernel_entry_with_rsw_rejected():
+    log = [chunk(1, 1, Reason.SYSCALL, rsw=2), chunk(1, 2, Reason.EXIT)]
+    with pytest.raises(ReplayDivergenceError):
+        validate_schedule(log)
+
+
+def test_conflict_chunk_with_rsw_accepted():
+    log = [chunk(1, 1, Reason.WAW, rsw=3), chunk(1, 2, Reason.EXIT)]
+    validate_schedule(log)
+
+
+def test_chunk_after_exit_rejected():
+    log = [chunk(1, 1, Reason.EXIT), chunk(1, 2, Reason.EXIT)]
+    with pytest.raises(ReplayDivergenceError):
+        validate_schedule(log)
+
+
+def test_stream_not_ending_in_exit_rejected():
+    log = [chunk(1, 1, Reason.SYSCALL)]
+    with pytest.raises(ReplayDivergenceError):
+        validate_schedule(log)
+
+
+def test_empty_log_valid():
+    validate_schedule([])

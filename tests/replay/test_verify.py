@@ -1,0 +1,53 @@
+from repro.replay.replayer import ReplayResult, ReplayStats
+from repro.replay.verify import verify_replay
+
+
+def make_result(digest="d1", outputs=None, exit_codes=None):
+    return ReplayResult(
+        final_memory_digest=digest,
+        outputs=outputs if outputs is not None else {"stdout": b"ok"},
+        exit_codes=exit_codes if exit_codes is not None else {1: 0},
+        stats=ReplayStats(),
+    )
+
+
+def test_all_match():
+    report = verify_replay("d1", {"stdout": b"ok"}, {1: 0}, make_result())
+    assert report.ok
+    assert "verified" in report.summary()
+    assert report.mismatches == []
+
+
+def test_memory_mismatch():
+    report = verify_replay("other", {"stdout": b"ok"}, {1: 0}, make_result())
+    assert not report.ok
+    assert not report.memory_match
+    assert any("memory" in m for m in report.mismatches)
+
+
+def test_output_content_mismatch_reports_offset():
+    report = verify_replay("d1", {"stdout": b"oak"}, {1: 0}, make_result())
+    assert not report.output_match
+    assert any("offset 1" in m for m in report.mismatches)
+
+
+def test_output_missing_file():
+    report = verify_replay("d1", {"stdout": b"ok", "log": b"x"}, {1: 0},
+                           make_result())
+    assert not report.output_match
+
+
+def test_extra_replay_output_detected():
+    report = verify_replay("d1", {}, {1: 0}, make_result())
+    assert not report.output_match
+
+
+def test_exit_code_mismatch():
+    report = verify_replay("d1", {"stdout": b"ok"}, {1: 1}, make_result())
+    assert not report.exit_code_match
+    assert "DIVERGED" in report.summary()
+
+
+def test_length_prefix_mismatch_offset():
+    report = verify_replay("d1", {"stdout": b"okmore"}, {1: 0}, make_result())
+    assert any("offset 2" in m for m in report.mismatches)

@@ -1,0 +1,109 @@
+from repro.cli import main
+
+
+def test_list_shows_workloads(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "counter" in out
+    assert "fft" in out
+    assert "splash" in out and "micro" in out
+
+
+def test_record_and_info_and_replay(tmp_path, capsys):
+    rec_dir = str(tmp_path / "rec")
+    assert main(["record", "counter", "--threads", "2", "--seed", "3",
+                 "-o", rec_dir]) == 0
+    out = capsys.readouterr().out
+    assert "chunks" in out and "saved to" in out
+
+    assert main(["info", rec_dir]) == 0
+    out = capsys.readouterr().out
+    assert "chunk terminations" in out
+
+    assert main(["replay", rec_dir]) == 0
+    out = capsys.readouterr().out
+    assert "replay verified" in out
+
+
+def test_record_without_output_dir(capsys):
+    assert main(["record", "counter", "--threads", "2"]) == 0
+    assert "saved to" not in capsys.readouterr().out
+
+
+def test_roundtrip_command(capsys):
+    assert main(["roundtrip", "counter", "dekker", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert out.count(" ok") == 2
+
+
+def test_overhead_command(capsys):
+    assert main(["overhead", "counter", "--threads", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "hw ovh %" in out
+    assert "counter" in out
+
+
+def test_unknown_workload_is_clean_error(capsys):
+    assert main(["record", "nosuch"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_replay_missing_directory_is_clean_error(tmp_path, capsys):
+    assert main(["replay", str(tmp_path / "missing")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_replay_detects_tampered_log(tmp_path, capsys):
+    rec_dir = tmp_path / "rec"
+    assert main(["record", "counter", "--threads", "2",
+                 "-o", str(rec_dir)]) == 0
+    capsys.readouterr()
+    # truncate the chunk log: decode fails -> clean error exit
+    chunks = rec_dir / "chunks.bin"
+    chunks.write_bytes(chunks.read_bytes()[:-16])
+    assert main(["replay", str(rec_dir)]) == 2
+
+
+def test_timeline_command(tmp_path, capsys):
+    rec_dir = str(tmp_path / "rec")
+    assert main(["record", "pingpong", "--threads", "2",
+                 "-o", rec_dir]) == 0
+    capsys.readouterr()
+    assert main(["timeline", rec_dir, "--width", "40"]) == 0
+    out = capsys.readouterr().out
+    assert "t1" in out and "t2" in out and "key:" in out
+
+
+def test_debug_watch_command(tmp_path, capsys):
+    rec_dir = str(tmp_path / "rec")
+    assert main(["record", "counter", "--threads", "2",
+                 "-o", rec_dir]) == 0
+    capsys.readouterr()
+    assert main(["debug", rec_dir, "--watch", "counter"]) == 0
+    out = capsys.readouterr().out
+    assert "changed" in out
+    assert "thread states" in out
+
+
+def test_debug_until_chunk_command(tmp_path, capsys):
+    rec_dir = str(tmp_path / "rec")
+    assert main(["record", "counter", "--threads", "2",
+                 "-o", rec_dir]) == 0
+    capsys.readouterr()
+    assert main(["debug", rec_dir, "--until-chunk", "25"]) == 0
+    out = capsys.readouterr().out
+    assert "stopped at chunk 25" in out
+
+
+def test_debug_full_run_command(tmp_path, capsys):
+    rec_dir = str(tmp_path / "rec")
+    assert main(["record", "dekker", "-o", rec_dir]) == 0
+    capsys.readouterr()
+    assert main(["debug", rec_dir]) == 0
+    out = capsys.readouterr().out
+    assert "replayed all" in out
+
+
+def test_fuzz_command(capsys):
+    assert main(["fuzz", "--count", "3", "--base-seed", "7"]) == 0
+    assert "3/3 runs verified" in capsys.readouterr().out

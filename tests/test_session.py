@@ -1,0 +1,89 @@
+import pytest
+
+from repro import session
+from repro.config import SimConfig, MachineConfig
+from repro.errors import ConfigError
+from repro.isa.builder import KernelBuilder
+
+
+def tiny_program():
+    b = KernelBuilder()
+    b.word("v", 0)
+    b.label("main")
+    with b.for_range("r6", 0, 20):
+        b.ins("mov", "r7", 1)
+        b.ins("xadd", "[v]", "r7")
+    b.exit(3)
+    return b.build("tiny")
+
+
+def test_simulate_default_mode_off():
+    outcome = session.simulate(tiny_program())
+    assert outcome.mode == session.MODE_OFF
+    assert outcome.recording is None
+    assert outcome.rsm_stats is None
+    assert outcome.exit_codes == {1: 3}
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ConfigError):
+        session.simulate(tiny_program(), mode="turbo")
+
+
+def test_record_produces_recording():
+    outcome = session.record(tiny_program())
+    assert outcome.mode == session.MODE_FULL
+    assert outcome.recording is not None
+    assert outcome.recording.metadata["final_memory_digest"] == \
+        outcome.final_memory_digest
+
+
+def test_record_ignores_mode_kwarg():
+    outcome = session.record(tiny_program(), mode="off")
+    assert outcome.mode == session.MODE_FULL
+
+
+def test_record_and_replay_round_trip():
+    outcome, replayed, report = session.record_and_replay(tiny_program(),
+                                                          seed=5)
+    assert report.ok
+    assert replayed.exit_codes == outcome.exit_codes
+
+
+def test_same_seed_reproduces_execution():
+    program = tiny_program()
+    a = session.simulate(program, seed=9)
+    b = session.simulate(program, seed=9)
+    assert a.final_memory_digest == b.final_memory_digest
+    assert a.total_cycles == b.total_cycles
+
+
+def test_modes_execute_identically_with_different_cycles():
+    program = tiny_program()
+    off = session.simulate(program, seed=7, mode=session.MODE_OFF)
+    hw = session.simulate(program, seed=7, mode=session.MODE_HW)
+    full = session.simulate(program, seed=7, mode=session.MODE_FULL)
+    assert off.final_memory_digest == hw.final_memory_digest
+    assert off.final_memory_digest == full.final_memory_digest
+    assert off.units == hw.units == full.units
+    assert off.total_cycles < hw.total_cycles < full.total_cycles
+
+
+def test_instructions_property_counts_retirements():
+    outcome = session.simulate(tiny_program())
+    # 20 iterations x (mov/xadd + loop overhead) + prologue + exit path
+    assert outcome.instructions > 80
+
+
+def test_custom_config_respected():
+    config = SimConfig(machine=MachineConfig(num_cores=1,
+                                             memory_bytes=1 << 16))
+    outcome = session.simulate(tiny_program(), config=config)
+    assert len(outcome.machine_stats["cores"]) == 1
+
+
+def test_kernel_seed_defaults_derived_from_seed():
+    program = tiny_program()
+    a = session.simulate(program, seed=3)
+    b = session.simulate(program, seed=3, kernel_seed=(3 ^ 0x5EED_C0DE))
+    assert a.final_memory_digest == b.final_memory_digest

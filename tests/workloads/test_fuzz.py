@@ -1,0 +1,66 @@
+"""The fuzz-campaign library itself."""
+
+import random
+
+import pytest
+
+from repro.workloads.fuzz import (
+    FuzzReport,
+    build_program,
+    emit_ops,
+    fuzz_many,
+    fuzz_once,
+    random_config,
+    random_ops,
+)
+
+
+def test_random_ops_deterministic_per_seed():
+    assert random_ops(random.Random(5)) == random_ops(random.Random(5))
+    assert random_ops(random.Random(5)) != random_ops(random.Random(6))
+
+
+def test_random_ops_within_bounds():
+    ops = random_ops(random.Random(1), max_ops=30)
+    assert 1 <= len(ops) <= 30
+    for op in ops:
+        assert isinstance(op, tuple) and op
+
+
+def test_emit_rejects_unknown_op():
+    from repro.isa.builder import KernelBuilder
+
+    with pytest.raises(AssertionError):
+        emit_ops(KernelBuilder(), [("teleport",)])
+
+
+def test_build_program_assembles_all_generated_ops():
+    rng = random.Random(3)
+    for _ in range(10):
+        threads_ops = [random_ops(rng) for _ in range(rng.randint(2, 3))]
+        program = build_program(threads_ops, repeats=2)
+        assert len(program) > 0
+
+
+def test_random_config_valid():
+    for seed in range(10):
+        config = random_config(random.Random(seed))
+        assert 1 <= config.machine.num_cores <= 4
+
+
+def test_fuzz_once_verifies():
+    ok, detail = fuzz_once(seed=77)
+    assert ok, detail
+
+
+def test_fuzz_many_counts():
+    report = fuzz_many(5, base_seed=500)
+    assert isinstance(report, FuzzReport)
+    assert report.runs == 5
+    assert report.verified == 5
+    assert report.ok
+
+
+def test_fuzz_campaign_across_seeds():
+    report = fuzz_many(12, base_seed=9000)
+    assert report.ok, report.failures

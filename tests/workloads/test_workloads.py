@@ -1,0 +1,314 @@
+"""Workload correctness: every workload's checksum is validated against an
+independent Python reference model, under several interleavings. This is
+differential testing of the whole machine (ISA, TSO, coherence, kernel)
+against straight-line Python."""
+
+import pytest
+
+from repro import session, workloads
+from repro.workloads import data
+
+MASK = 0xFFFFFFFF
+
+
+def run_checksum(name, threads=None, scale=1, seed=0, policy="random"):
+    program, inputs = workloads.build(name, threads=threads, scale=scale)
+    outcome = session.simulate(program, seed=seed, policy=policy,
+                               input_files=inputs)
+    out = outcome.outputs["stdout"]
+    return int.from_bytes(out[0:4], "little"), outcome
+
+
+def signed(x):
+    return x - (1 << 32) if x & 0x80000000 else x
+
+
+# -- closed-form references ----------------------------------------------------
+
+def test_counter_total_exact():
+    checksum, _ = run_checksum("counter", threads=4)
+    assert checksum == 4 * 300
+
+
+def test_counter_scales_with_threads_and_scale():
+    checksum, _ = run_checksum("counter", threads=3, scale=2)
+    assert checksum == 3 * 600
+
+
+def test_locks_critical_section_exact():
+    checksum, _ = run_checksum("locks", threads=4)
+    assert checksum == 4 * 100
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_dekker_mutual_exclusion(seed):
+    # If Peterson ever fails, increments are lost and the count drops.
+    checksum, _ = run_checksum("dekker", seed=seed)
+    assert checksum == 2 * 150
+
+
+def test_pingpong_per_slot_increments():
+    checksum, _ = run_checksum("pingpong", threads=4)
+    assert checksum == 4 * 400
+
+
+def test_prodcons_consumes_every_item_exactly_once():
+    threads = 3
+    total = 120 * (threads - 1)
+    checksum, _ = run_checksum("prodcons", threads=threads)
+    assert checksum == sum(range(total)) & MASK
+
+
+def test_sigping_all_signals_delivered():
+    checksum, _ = run_checksum("sigping")
+    assert checksum == 20
+
+
+def test_iobound_sums_input_files():
+    threads = 2
+    checksum, _ = run_checksum("iobound", threads=threads)
+    expected = 0
+    for tid in range(threads):
+        expected += sum(data.words(seed=100 + tid, count=512, modulus=1000))
+    assert checksum == expected & MASK
+
+
+# -- reference-model checks -------------------------------------------------------
+
+def test_fft_matches_reference_butterfly():
+    n = 256
+    x = data.words(seed=11, count=n, modulus=1 << 16)
+    for stage in range(n.bit_length() - 1):
+        stride = 1 << stage
+        for i in range(n):
+            if i & stride:
+                continue
+            a, b = x[i], x[i + stride]
+            x[i] = (a + b) & MASK
+            x[i + stride] = (a - b) & MASK
+    expected = sum(x) & MASK
+    checksum, _ = run_checksum("fft", threads=4)
+    assert checksum == expected
+
+
+def test_radix_sorts_keys():
+    n = 256
+    keys = sorted(data.words(seed=31, count=n, modulus=1 << 16))
+    expected = sum(key * (i + 1) for i, key in enumerate(keys)) & MASK
+    checksum, _ = run_checksum("radix", threads=4)
+    assert checksum == expected
+
+
+def test_radix_other_thread_counts():
+    n = 256
+    keys = sorted(data.words(seed=31, count=n, modulus=1 << 16))
+    expected = sum(key * (i + 1) for i, key in enumerate(keys)) & MASK
+    for threads in (1, 2):
+        checksum, _ = run_checksum("radix", threads=threads)
+        assert checksum == expected
+
+
+def test_lu_matches_reference_elimination():
+    n = 20
+    a = data.words(seed=23, count=n * n, modulus=10_000)
+    for k in range(n - 1):
+        pivot = a[k * n + k] | 1
+        for row in range(k + 1, n):
+            factor = a[row * n + k] // pivot
+            for col in range(k, n):
+                product = (factor * a[k * n + col]) & MASK
+                a[row * n + col] = (a[row * n + col] - product) & MASK
+    expected = sum(a[::3]) & MASK  # checksum strides by 3 words
+    checksum, _ = run_checksum("lu", threads=4)
+    assert checksum == expected
+
+
+def test_ocean_matches_reference_stencil():
+    grid, sweeps = 18, 3
+    g = data.words(seed=41, count=grid * grid, modulus=4096)
+    for half in range(2 * sweeps):
+        color = half & 1
+        for row in range(1, grid - 1):
+            for col in range(1, grid - 1):
+                if (row + col) & 1 != color:
+                    continue
+                idx = row * grid + col
+                total = (g[idx - grid] + g[idx + grid]
+                         + g[idx - 1] + g[idx + 1]) & MASK
+                g[idx] = total >> 2
+    expected = sum(g[::5]) & MASK
+    checksum, _ = run_checksum("ocean", threads=4)
+    assert checksum == expected
+
+
+def test_barnes_matches_reference_nbody():
+    particles, iters = 64, 2
+    pos = data.words(seed=51, count=particles, modulus=1 << 20)
+    for _ in range(iters):
+        force = []
+        for i in range(particles):
+            acc = 0
+            for j in range(particles):
+                acc = (acc + (signed((pos[j] - pos[i]) & MASK) >> 6)) & MASK
+            force.append(acc)
+        for i in range(particles):
+            pos[i] = (pos[i] + force[i]) & ((1 << 20) - 1)
+    expected = sum(pos) & MASK
+    checksum, _ = run_checksum("barnes", threads=4)
+    assert checksum == expected
+
+
+def test_water_matches_reference_pairwise():
+    molecules = 36
+    wpos = data.words(seed=61, count=molecules, modulus=1 << 16)
+    force = [0] * molecules
+    for i in range(molecules):
+        for j in range(i + 1, molecules):
+            interaction = ((wpos[i] ^ wpos[j]) & MASK) >> 8
+            force[i] = (force[i] + interaction) & MASK
+            force[j] = (force[j] - interaction) & MASK
+    expected = sum(force) & MASK
+    checksum, _ = run_checksum("water", threads=4)
+    assert checksum == expected
+
+
+def test_fmm_matches_reference_tree():
+    leaves = 64
+    bodies = data.words(seed=71, count=96 * 4, modulus=1 << 24)
+    tree = [0] * (2 * leaves)
+    for body in bodies:
+        leaf = body & (leaves - 1)
+        tree[leaves + leaf] = (tree[leaves + leaf] + (body >> 8)) & MASK
+    width = leaves // 2
+    while width:
+        for node in range(width, 2 * width):
+            tree[node] = (tree[2 * node] + tree[2 * node + 1]) & MASK
+        width //= 2
+    expected = sum(tree) & MASK
+    checksum, _ = run_checksum("fmm", threads=4)
+    assert checksum == expected
+
+
+def test_raytrace_matches_reference_escape_iteration():
+    side = 16
+    image = []
+    for pixel in range(side * side):
+        cx = ((pixel % side) - side // 2) << 5
+        cy = ((pixel // side) - side // 2) << 5
+        cx &= MASK
+        cy &= MASK
+        zx = zy = 0
+        iters = 0
+        while iters < 24:
+            zx2 = (zx * zx) & MASK
+            zy2 = (zy * zy) & MASK
+            new_zx = ((signed((zx2 - zy2) & MASK) >> 8) + cx) & MASK
+            cross = (zx * zy) & MASK
+            zy = ((signed(cross) >> 7) + cy) & MASK
+            zx = new_zx
+            mag = ((zx * zx) & MASK) + ((zy * zy) & MASK)
+            mag &= MASK
+            if mag > (4 << 16):
+                break
+            iters += 1
+        image.append(iters)
+    expected = sum(image[::3]) & MASK
+    program, inputs = workloads.build("raytrace", threads=4)
+    outcome = session.simulate(program, input_files=inputs)
+    out = outcome.outputs["stdout"]
+    # stdout carries progress words first; the checksum pair is last
+    checksum = int.from_bytes(out[-8:-4], "little")
+    assert checksum == expected
+
+
+# -- schedule independence of race-free workloads ------------------------------
+
+@pytest.mark.parametrize("name", ["fft", "ocean", "barnes", "lu"])
+def test_barrier_workloads_schedule_independent(name):
+    program, inputs = workloads.build(name)
+    digests = set()
+    for seed, policy in ((0, "random"), (5, "bursty"), (0, "rr")):
+        outcome = session.simulate(program, seed=seed, policy=policy,
+                                   input_files=inputs)
+        digests.add(outcome.outputs["stdout"])
+    assert len(digests) == 1
+
+
+# -- registry behaviour ------------------------------------------------------------
+
+def test_registry_contents():
+    assert len(workloads.splash_names()) == 10
+    assert len(workloads.micro_names()) == 8
+    assert set(workloads.all_names()) == set(workloads.splash_names()
+                                             + workloads.micro_names())
+
+
+def test_unknown_workload_rejected():
+    from repro.errors import WorkloadError
+
+    with pytest.raises(WorkloadError):
+        workloads.build("quake")
+
+
+def test_bad_parameters_rejected():
+    from repro.errors import WorkloadError
+
+    with pytest.raises(WorkloadError):
+        workloads.get("counter").build(threads=0)
+    with pytest.raises(WorkloadError):
+        workloads.get("counter").build(scale=0)
+
+
+def test_duplicate_registration_rejected():
+    from repro.errors import WorkloadError
+    from repro.workloads.base import Workload, register
+
+    with pytest.raises(WorkloadError):
+        register(Workload("counter", "dup", "micro",
+                          lambda t, s: (None, {})))
+
+
+def test_cholesky_matches_reference_pipeline():
+    n = 16
+    a = data.words(seed=81, count=n * n, modulus=10_000)
+    for j in range(n):
+        for k in range(j):
+            factor = a[k * n + j] | 1
+            for i in range(j, n):
+                quotient = a[i * n + k] // factor
+                a[i * n + j] = (a[i * n + j] - quotient) & MASK
+    expected = sum(a[::3]) & MASK
+    checksum, _ = run_checksum("cholesky", threads=4)
+    assert checksum == expected
+
+
+def test_cholesky_schedule_independent():
+    program, inputs = workloads.build("cholesky")
+    digests = {session.simulate(program, seed=seed, policy=policy,
+                                input_files=inputs).outputs["stdout"]
+               for seed, policy in ((0, "random"), (3, "bursty"),
+                                    (0, "rr"))}
+    assert len(digests) == 1
+
+
+def test_radiosity_processes_every_task_exactly_once():
+    threads, per_thread = 4, 48
+    total = threads * per_thread
+    expected = 0
+    for task in range(total):
+        value = (task * 2654435761) & MASK
+        expected += ((value >> 8) ^ task) & 0xFFFF
+    for seed in (0, 5):
+        checksum, _ = run_checksum("radiosity", threads=threads, seed=seed)
+        assert checksum == expected & MASK
+
+
+def test_radiosity_steals_across_threads():
+    # an uneven thread count forces cross-deque traffic; the sum is still
+    # exact, proving no task is lost or duplicated by racing steals
+    threads, per_thread = 3, 48
+    total = threads * per_thread
+    expected = sum((((t * 2654435761) & MASK) >> 8 ^ t) & 0xFFFF
+                   for t in range(total)) & MASK
+    checksum, _ = run_checksum("radiosity", threads=threads)
+    assert checksum == expected
