@@ -29,6 +29,7 @@ from .config import (
     MRRConfig,
     SimConfig,
     StoreBufferConfig,
+    TelemetryConfig,
     TsoMode,
 )
 from .errors import (
@@ -46,6 +47,7 @@ from .errors import (
 )
 from .isa import KernelBuilder, Program, assemble
 from .capo.recording import Recording
+from .telemetry import NULL_TELEMETRY, Telemetry
 from .session import (
     MODE_FULL,
     MODE_HW,
@@ -69,6 +71,7 @@ __all__ = [
     "MRRConfig",
     "SimConfig",
     "StoreBufferConfig",
+    "TelemetryConfig",
     "TsoMode",
     "AssemblerError",
     "ConfigError",
@@ -85,6 +88,8 @@ __all__ = [
     "Program",
     "assemble",
     "Recording",
+    "NULL_TELEMETRY",
+    "Telemetry",
     "MODE_FULL",
     "MODE_HW",
     "MODE_OFF",

@@ -41,6 +41,30 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
     return "\n".join(out)
 
 
+def render_metrics(snapshot: dict[str, Any]) -> str:
+    """Render a telemetry metrics snapshot (see ``quickrec stats``).
+
+    Scalars (counters, gauges) become one table; histograms, whose
+    snapshot values are summary dicts, become a second table with
+    distribution columns.
+    """
+    scalars = [(name, value) for name, value in snapshot.items()
+               if not isinstance(value, dict)]
+    histograms = [(name, value) for name, value in snapshot.items()
+                  if isinstance(value, dict)]
+    parts = []
+    if scalars:
+        parts.append(render_table(("metric", "value"), scalars,
+                                  title="counters and gauges"))
+    if histograms:
+        rows = [(name, h["count"], h["mean"], h["p50"], h["p90"], h["max"])
+                for name, h in histograms]
+        parts.append(render_table(
+            ("histogram", "count", "mean", "p50", "p90", "max"), rows,
+            title="distributions (p50/p90 within a power of two)"))
+    return "\n\n".join(parts) if parts else "no metrics recorded"
+
+
 def render_kv(pairs: dict[str, Any], title: str | None = None) -> str:
     """Render a key/value block."""
     width = max((len(key) for key in pairs), default=0)

@@ -16,13 +16,14 @@ Two modes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..config import SimConfig
 from ..errors import RecordingError
 from ..machine.machine import Core, Machine
 from ..mrr.chunk import ChunkEntry, Reason
 from ..mrr.recorder import MemoryRaceRecorder
+from ..telemetry import get_logger
 from .chunk_buffer import ChunkBuffer
 from .events import (
     EV_EXIT,
@@ -37,6 +38,8 @@ from .sphere import ReplaySphere
 MODE_HW = "hw"
 MODE_FULL = "full"
 MODES = (MODE_HW, MODE_FULL)
+
+logger = get_logger("capo.rsm")
 
 
 @dataclass
@@ -75,6 +78,7 @@ class ReplaySphereManager:
         self.chunk_log: list[ChunkEntry] = []
         self.events: list[InputEvent] = []
         self.stats = RSMStats()
+        self.telemetry = machine.telemetry
         self._seq = 0
         self._cbufs: list[ChunkBuffer] = []
         for core in machine.cores:
@@ -82,8 +86,16 @@ class ReplaySphereManager:
                                self._make_drain_handler(core))
             self._cbufs.append(cbuf)
             recorder = MemoryRaceRecorder(config.mrr, core,
-                                          self._make_sink(core, cbuf))
+                                          self._make_sink(core, cbuf),
+                                          telemetry=machine.telemetry)
             machine.attach_recorder(core.core_id, recorder)
+        if self.telemetry.enabled:
+            metrics = self.telemetry.metrics
+            self._tm_drains = metrics.counter("capo.cbuf_drains")
+            self._tm_batch = metrics.histogram("capo.cbuf_batch_entries")
+            self._tm_events = metrics.counter("capo.input_events")
+            self._tm_payload = metrics.counter("capo.input_payload_bytes")
+            self._tm_threads = metrics.counter("capo.sphere_threads")
 
     # -- wiring ---------------------------------------------------------------
 
@@ -110,6 +122,13 @@ class ReplaySphereManager:
                           + cost.cbuf_drain_per_entry * len(batch))
                 core.cycles += charge
                 self.stats.cycles_cbuf_drain += charge
+            if self.telemetry.enabled:
+                self._tm_drains.inc()
+                self._tm_batch.observe(len(batch))
+                self.telemetry.tracer.instant(
+                    "cbuf.drain", cat="capo", tid=core.core_id,
+                    args={"entries": len(batch),
+                          "log_chunks": len(self.chunk_log)})
 
         return on_drain
 
@@ -117,6 +136,12 @@ class ReplaySphereManager:
 
     def thread_started(self, task) -> None:
         self.sphere.register(task.rthread)
+        if self.telemetry.enabled:
+            self._tm_threads.inc()
+            self.telemetry.tracer.instant(
+                "sphere.thread_started", cat="capo", tid=task.rthread)
+            self.telemetry.tracer.thread_name(
+                task.rthread, f"rthread {task.rthread}")
 
     # -- kernel crossings ------------------------------------------------------------
 
@@ -159,6 +184,15 @@ class ReplaySphereManager:
         if core is not None:
             core.cycles += charge
         self.stats.cycles_input_log += charge
+        if self.telemetry.enabled:
+            self._tm_events.inc()
+            self._tm_payload.inc(event.payload_bytes)
+            self.telemetry.metrics.counter(
+                f"capo.input_events.{event.kind}").inc()
+            self.telemetry.tracer.instant(
+                f"input:{event.kind}", cat="capo", tid=event.rthread,
+                args={"seq": event.seq, "chunk_seq": event.chunk_seq,
+                      "payload_bytes": event.payload_bytes})
 
     def _event(self, task, kind: str, **fields) -> InputEvent:
         self._seq += 1
@@ -199,3 +233,14 @@ class ReplaySphereManager:
         """Flush every CBUF (end of recording)."""
         for cbuf in self._cbufs:
             cbuf.drain()
+        logger.debug(
+            "finalized sphere: %d chunks, %d input events, %d payload "
+            "bytes, %d CBUF drains, %d software cycles",
+            self.stats.chunks, self.stats.input_events,
+            self.stats.input_payload_bytes, self.stats.cbuf_drains,
+            self.stats.cycles_software)
+        if self.telemetry.enabled:
+            self.telemetry.tracer.instant(
+                "rsm.finalize", cat="capo",
+                args={"chunks": self.stats.chunks,
+                      "input_events": self.stats.input_events})

@@ -4,25 +4,35 @@ Subcommands::
 
     quickrec list                         # available workloads
     quickrec record fft -o /tmp/rec       # record a workload to disk
+    quickrec record fft --trace t.json    # ... with a Perfetto-loadable trace
+    quickrec stats fft                    # record + replay, metrics tables
     quickrec replay /tmp/rec              # replay + verify a saved recording
     quickrec roundtrip fft radix          # record, replay, verify in memory
     quickrec overhead fft --seed 3        # native / hw / full cycle compare
     quickrec info /tmp/rec                # recording summary
     quickrec timeline /tmp/rec            # per-thread interleaving timeline
     quickrec debug /tmp/rec --watch counter   # replay until a word changes
+
+Exit codes: 0 success, 1 library error (:class:`~repro.errors.ReproError`
+or a failed verification), 2 usage error.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
-from . import session, workloads
+from . import __version__, session, workloads
 from .analysis import chunks as chunk_analysis
-from .analysis import logs as log_analysis
-from .analysis.report import render_kv, render_table
+from .analysis.report import render_kv, render_metrics, render_table
 from .capo.recording import Recording
+from .config import DEFAULT_CONFIG, SimConfig, TelemetryConfig
 from .errors import ReproError
+
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_USAGE = 2
 
 
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
@@ -44,11 +54,19 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _traced_config(args: argparse.Namespace) -> SimConfig:
+    """The default config with telemetry switched on."""
+    return dataclasses.replace(
+        DEFAULT_CONFIG,
+        telemetry=TelemetryConfig(enabled=True, sampling=args.sampling))
+
+
 def _cmd_record(args: argparse.Namespace) -> int:
     program, inputs = workloads.build(args.workload, threads=args.threads,
                                       scale=args.scale)
+    config = _traced_config(args) if args.trace else None
     outcome = session.record(program, seed=args.seed, policy=args.policy,
-                             input_files=inputs)
+                             input_files=inputs, config=config)
     recording = outcome.recording
     print(render_kv({
         "workload": args.workload,
@@ -62,6 +80,27 @@ def _cmd_record(args: argparse.Namespace) -> int:
     if args.out:
         recording.save(args.out)
         print(f"saved to {args.out}")
+    if args.trace:
+        outcome.telemetry.tracer.save(args.trace)
+        print(f"trace written to {args.trace} "
+              f"({len(outcome.telemetry.tracer)} events; open in Perfetto)")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    program, inputs = workloads.build(args.workload, threads=args.threads,
+                                      scale=args.scale)
+    outcome = session.record(program, seed=args.seed, policy=args.policy,
+                             input_files=inputs,
+                             config=_traced_config(args))
+    telemetry = outcome.telemetry
+    if not args.no_replay:
+        session.replay_recording(outcome.recording, telemetry=telemetry)
+    print(render_metrics(telemetry.snapshot()))
+    if args.trace:
+        telemetry.tracer.save(args.trace)
+        print(f"\ntrace written to {args.trace} "
+              f"({len(telemetry.tracer)} events; open in Perfetto)")
     return 0
 
 
@@ -207,6 +246,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="quickrec",
         description="QuickRec reproduction: record and replay multithreaded "
                     "programs on a simulated multicore IA machine.")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list workloads").set_defaults(fn=_cmd_list)
@@ -215,8 +256,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_record.add_argument("workload")
     p_record.add_argument("-o", "--out", default=None,
                           help="directory to save the recording bundle")
+    p_record.add_argument("--trace", default=None, metavar="PATH",
+                          help="write a Chrome trace-event JSON file "
+                               "(open in Perfetto / chrome://tracing)")
+    p_record.add_argument("--sampling", type=int, default=64,
+                          help="telemetry sampling period for per-step "
+                               "machine events (default 64)")
     _add_workload_args(p_record)
     p_record.set_defaults(fn=_cmd_record)
+
+    p_stats = sub.add_parser(
+        "stats", help="record (and replay) a workload with telemetry on, "
+                      "then render the metrics snapshot")
+    p_stats.add_argument("workload")
+    p_stats.add_argument("--trace", default=None, metavar="PATH",
+                         help="also write the Chrome trace-event JSON file")
+    p_stats.add_argument("--sampling", type=int, default=64,
+                         help="telemetry sampling period (default 64)")
+    p_stats.add_argument("--no-replay", action="store_true",
+                         help="skip the replay pass (record-side metrics only)")
+    _add_workload_args(p_stats)
+    p_stats.set_defaults(fn=_cmd_stats)
 
     p_replay = sub.add_parser("replay", help="replay a saved recording")
     p_replay.add_argument("directory")
@@ -265,12 +325,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
-    args = parser.parse_args(argv)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits itself: 0 for --help/--version, 2 for usage errors.
+        code = exc.code
+        return code if isinstance(code, int) else EXIT_USAGE
     try:
         return args.fn(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":

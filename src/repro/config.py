@@ -194,6 +194,31 @@ class CapoConfig:
 
 
 @dataclass(frozen=True)
+class TelemetryConfig:
+    """Observability opt-in (see :mod:`repro.telemetry`).
+
+    Telemetry is strictly observational: enabling it never changes the
+    executed instructions, the interleaving, the logs or the cycle
+    accounting — only whether trace events and metrics are collected.
+    ``sampling`` thins the per-step machine events (1 = every step); the
+    coarse events (chunks, syscalls, CBUF drains) are never sampled.
+    """
+
+    enabled: bool = False
+    sampling: int = 64
+
+    def __post_init__(self) -> None:
+        _require(self.sampling >= 1, "sampling must be >= 1")
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TelemetryConfig":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
 class SimConfig:
     """Everything needed to build a recordable machine, in one value."""
 
@@ -201,6 +226,7 @@ class SimConfig:
     mrr: MRRConfig = field(default_factory=MRRConfig)
     kernel: KernelConfig = field(default_factory=KernelConfig)
     capo: CapoConfig = field(default_factory=CapoConfig)
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -208,6 +234,7 @@ class SimConfig:
             "mrr": self.mrr.to_dict(),
             "kernel": self.kernel.to_dict(),
             "capo": self.capo.to_dict(),
+            "telemetry": self.telemetry.to_dict(),
         }
 
     @classmethod
@@ -217,6 +244,8 @@ class SimConfig:
             mrr=MRRConfig.from_dict(data["mrr"]),
             kernel=KernelConfig.from_dict(data["kernel"]),
             capo=CapoConfig.from_dict(data["capo"]),
+            # absent in bundles recorded before the telemetry subsystem
+            telemetry=TelemetryConfig.from_dict(data.get("telemetry", {})),
         )
 
 

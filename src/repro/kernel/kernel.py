@@ -93,9 +93,18 @@ class Kernel:
         self.tasks: dict[int, Task] = {}
         self.rng = random.Random(seed)
         self.stats = KernelStats()
+        self.telemetry = machine.telemetry
         self._next_tid = 1
         self._next_pid = 1
         self._live = 0
+        if self.telemetry.enabled:
+            metrics = self.telemetry.metrics
+            self._tm_syscalls = metrics.counter("kernel.syscalls")
+            self._tm_futex_wakes = metrics.counter("kernel.futex_wakes")
+            self._tm_preempts = metrics.counter("kernel.preemptions")
+            self._tm_blocks = metrics.counter("kernel.blocks")
+            self._tm_dispatches = metrics.counter("kernel.dispatches")
+            self._tm_signals = metrics.counter("kernel.signals_delivered")
 
     # -- setup -------------------------------------------------------------
 
@@ -197,6 +206,12 @@ class Kernel:
             task.state = STATE_RUNNABLE
             task.wait_channel = None
             self.sched.enqueue(tid)
+        if self.telemetry.enabled:
+            self._tm_futex_wakes.inc()
+            self.telemetry.tracer.instant(
+                "futex.wake", cat="kernel",
+                args={"addr": addr, "woken": len(woken),
+                      "requested": count})
         return len(woken)
 
     def post_signal(self, tid: int, signo: int) -> bool:
@@ -292,6 +307,12 @@ class Kernel:
         self.stats.syscalls += 1
         self.stats.syscalls_by_name[name] = \
             self.stats.syscalls_by_name.get(name, 0) + 1
+        if self.telemetry.enabled:
+            self._tm_syscalls.inc()
+            self.telemetry.metrics.counter(f"kernel.syscalls.{name}").inc()
+            self.telemetry.tracer.instant(
+                f"sys.{name}", cat="kernel", tid=task.tid,
+                args={"sysno": sysno, "core": core.core_id})
 
         action = syscalls.dispatch(self, task, sysno, args)
 
@@ -339,6 +360,10 @@ class Kernel:
             value = CPUID_VALUE ^ self.machine.config.num_cores
         else:  # pragma: no cover - dispatch guarantees the mnemonics above
             raise KernelError(f"unexpected nondet instruction {instr.mnemonic}")
+        if self.telemetry.enabled:
+            self.telemetry.tracer.instant(
+                f"nondet.{instr.mnemonic}", cat="kernel", tid=task.tid,
+                args={"value": value})
         engine.complete_trap(instr.ops[0], value)
         if self.rsm is not None and task.recorded:
             self.rsm.log_nondet(task, instr.mnemonic, value)
@@ -358,6 +383,12 @@ class Kernel:
         task.state = STATE_RUNNING
         task.units_in_quantum = 0
         task.quantum_limit = self._quantum()
+        if self.telemetry.enabled:
+            self._tm_dispatches.inc()
+            self.telemetry.tracer.instant(
+                "sched.dispatch", cat="kernel", tid=task.tid,
+                args={"core": core.core_id,
+                      "quantum": task.quantum_limit})
         if task.program is not None:
             core.engine.program = task.program
         core.engine.restore_context(task.context)
@@ -381,6 +412,11 @@ class Kernel:
         core.cycles += self.machine.cost.context_switch_base
         self.stats.preemptions += 1
         self.stats.context_switches += 1
+        if self.telemetry.enabled:
+            self._tm_preempts.inc()
+            self.telemetry.tracer.instant(
+                "sched.preempt", cat="kernel", tid=task.tid,
+                args={"core": core.core_id})
         self._undispatch(core, task)
         task.state = STATE_RUNNABLE
         self.sched.enqueue(task.tid)
@@ -396,6 +432,11 @@ class Kernel:
             self.sched.add_sleeper(value, task.tid)
         else:  # pragma: no cover - handlers only emit the two kinds above
             raise KernelError(f"unknown wait channel {channel!r}")
+        if self.telemetry.enabled:
+            self._tm_blocks.inc()
+            self.telemetry.tracer.instant(
+                "sched.block", cat="kernel", tid=task.tid,
+                args={"kind": kind, "value": value})
         self.stats.context_switches += 1
         self._undispatch(core, task)
         self._fill_idle_cores()
@@ -440,6 +481,11 @@ class Kernel:
             engine.regs[RCX] = signo
             engine.cur_memops = 0
             self.stats.signals_delivered += 1
+            if self.telemetry.enabled:
+                self._tm_signals.inc()
+                self.telemetry.tracer.instant(
+                    "signal.deliver", cat="kernel", tid=task.tid,
+                    args={"signo": signo, "handler": handler})
             if self.rsm is not None and task.recorded:
                 self.rsm.log_signal(task, signo)
             return

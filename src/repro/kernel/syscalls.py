@@ -15,7 +15,7 @@ around the call.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 MASK32 = 0xFFFFFFFF

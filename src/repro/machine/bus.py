@@ -15,7 +15,7 @@ front-side bus. Two kinds of agents observe transactions:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from typing import Protocol
 
 from .cache import EXCLUSIVE, MESICache, MODIFIED, SHARED
 

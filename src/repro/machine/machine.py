@@ -18,8 +18,9 @@ from ..config import MachineConfig
 from ..errors import MachineFault
 from ..isa.program import Program
 from ..perf.costmodel import DEFAULT_COST_MODEL, CostModel
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .bus import SnoopBus
-from .cache import HIT as CACHE_HIT, MESICache, MISS as CACHE_MISS, MODIFIED, UPGRADE
+from .cache import MESICache, MISS as CACHE_MISS, MODIFIED, UPGRADE
 from .core import Engine
 from .memory import PhysicalMemory
 from .store_buffer import (
@@ -71,6 +72,8 @@ class Core:
         else:
             memory.write_byte(entry.addr, entry.value)
         self.cycles += self.machine.cost.store_drain
+        if self.machine.telemetry.enabled:
+            self.machine._tm_drains.inc()
         if self.recorder is not None:
             self.recorder.on_store_drain(line)
 
@@ -148,9 +151,11 @@ class Machine:
     """The QuickIA box: ``num_cores`` cores over one snoop bus."""
 
     def __init__(self, config: MachineConfig | None = None,
-                 cost: CostModel | None = None):
+                 cost: CostModel | None = None,
+                 telemetry: Telemetry | None = None):
         self.config = config or MachineConfig()
         self.cost = cost or DEFAULT_COST_MODEL
+        self.telemetry = telemetry or NULL_TELEMETRY
         self.memory = PhysicalMemory(self.config.memory_bytes)
         self.bus = SnoopBus(self.config.num_cores)
         self.cores = [Core(core_id, self) for core_id in range(self.config.num_cores)]
@@ -169,6 +174,13 @@ class Machine:
         # transaction: they would issue nested transactions and break the
         # outer one's atomicity (e.g. two Modified copies of a line).
         self.in_bus_transaction = False
+        if self.telemetry.enabled:
+            metrics = self.telemetry.metrics
+            self._tm_bus_reads = metrics.counter("machine.bus_reads")
+            self._tm_bus_writes = metrics.counter("machine.bus_writes")
+            self._tm_bus_upgrades = metrics.counter("machine.bus_upgrades")
+            self._tm_drains = metrics.counter("machine.store_drains")
+            self._tm_copy_lines = metrics.counter("machine.coherent_copy_lines")
 
     def next_chunk_timestamp(self) -> int:
         self._chunk_timestamps += 1
@@ -206,6 +218,22 @@ class Machine:
             core.cycles += self.cost.writeback
         if core.recorder is not None and result.victim_timestamps:
             core.recorder.observe_victims(result.victim_timestamps)
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            if upgrade:
+                self._tm_bus_upgrades.inc()
+            elif is_write:
+                self._tm_bus_writes.inc()
+            else:
+                self._tm_bus_reads.inc()
+            transactions = (self._tm_bus_reads.value + self._tm_bus_writes.value
+                            + self._tm_bus_upgrades.value)
+            if transactions % telemetry.sampling == 0:
+                telemetry.tracer.instant(
+                    "bus.txn", cat="machine", tid=core.core_id,
+                    args={"line": line, "write": is_write,
+                          "upgrade": upgrade,
+                          "victims": len(result.victim_timestamps)})
 
     def coherent_copy(self, core: Core, addr: int, data: bytes) -> None:
         """Kernel copy-to-user performed through ``core``'s cache.
@@ -229,6 +257,8 @@ class Machine:
                 self.bus_transaction(core, line, is_write=True, upgrade=True)
             if core.recorder is not None:
                 core.recorder.on_copy_write(line)
+            if self.telemetry.enabled:
+                self._tm_copy_lines.inc()
         self.memory.write(addr, data)
 
     def coherent_read(self, core: Core, addr: int, size: int) -> bytes:
@@ -273,6 +303,16 @@ class Machine:
         if core.recorder is not None:
             core.recorder.after_unit()
         self._background_drains()
+        telemetry = self.telemetry
+        if telemetry.enabled and self.global_step % telemetry.sampling == 0:
+            tracer = telemetry.tracer
+            tracer.counter("machine.cycles",
+                           {f"core{c.core_id}": c.cycles for c in self.cores},
+                           cat="machine")
+            tracer.counter("machine.retired",
+                           {f"core{c.core_id}": c.engine.retired
+                            for c in self.cores if c.engine is not None},
+                           cat="machine")
 
     def idle_tick(self) -> None:
         """Advance time when no core is runnable (tasks blocked/sleeping)."""

@@ -30,6 +30,7 @@ from typing import Callable
 
 from ..config import MRRConfig, TsoMode
 from ..errors import RecordingError
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .chunk import ChunkEntry, Reason
 from .signature import BloomSignature
 
@@ -38,7 +39,8 @@ class MemoryRaceRecorder:
     """MRR hardware state for one core."""
 
     def __init__(self, config: MRRConfig, core,
-                 sink: Callable[[ChunkEntry], None]):
+                 sink: Callable[[ChunkEntry], None],
+                 telemetry: Telemetry | None = None):
         self.config = config
         self.core = core
         self.sink = sink
@@ -49,6 +51,22 @@ class MemoryRaceRecorder:
         # Diagnostics for the evaluation figures.
         self.chunks_logged = 0
         self.conflicts_caused = 0
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self._chunk_start_ts = 0
+        # Exact line sets shadowing the Bloom signatures, maintained only
+        # when telemetry is enabled: a snoop that hits the signature but
+        # misses the exact set is a measured (not estimated) Bloom false
+        # positive. Observation only — the chunk still terminates.
+        self._exact_reads: set[int] = set()
+        self._exact_writes: set[int] = set()
+        if self.telemetry.enabled:
+            metrics = self.telemetry.metrics
+            self._tm_chunks = metrics.counter("mrr.chunks_total")
+            self._tm_snoop_cuts = metrics.counter("mrr.snoop_terminations")
+            self._tm_bloom_fp = metrics.counter("mrr.bloom_false_positives")
+            self._tm_chunk_hist = metrics.histogram("mrr.chunk_instructions")
+            self._tm_rsw_hist = metrics.histogram("mrr.chunk_rsw")
+            self._tm_occupancy = metrics.histogram("mrr.signature_occupancy_pct")
 
     @property
     def active(self) -> bool:
@@ -76,36 +94,52 @@ class MemoryRaceRecorder:
         engine = self.core.engine
         self._icnt_start = engine.retired
         engine.load_hash = 0
+        if self.telemetry.enabled:
+            self._exact_reads.clear()
+            self._exact_writes.clear()
+            self._chunk_start_ts = self.telemetry.tracer.now()
 
     # -- signature insertion hooks ------------------------------------------
 
     def on_load(self, line: int) -> None:
         if self.rthread is not None:
             self.read_sig.insert(line)
+            if self.telemetry.enabled:
+                self._exact_reads.add(line)
 
     def on_store_drain(self, line: int) -> None:
         if self.rthread is not None:
             self.write_sig.insert(line)
+            if self.telemetry.enabled:
+                self._exact_writes.add(line)
 
     def on_atomic_read(self, line: int) -> None:
         if self.rthread is not None:
             self.read_sig.insert(line)
+            if self.telemetry.enabled:
+                self._exact_reads.add(line)
 
     def on_atomic_write(self, line: int) -> None:
         if self.rthread is not None:
             self.write_sig.insert(line)
+            if self.telemetry.enabled:
+                self._exact_writes.add(line)
 
     def on_copy_write(self, line: int) -> None:
         """A kernel copy-to-user performed on behalf of this thread; the
         data becomes part of the current chunk's write set."""
         if self.rthread is not None:
             self.write_sig.insert(line)
+            if self.telemetry.enabled:
+                self._exact_writes.add(line)
 
     def on_copy_read(self, line: int) -> None:
         """A kernel copy-from-user on behalf of this thread (write()
         payloads, path strings); joins the current chunk's read set."""
         if self.rthread is not None:
             self.read_sig.insert(line)
+            if self.telemetry.enabled:
+                self._exact_reads.add(line)
 
     # -- conflict detection ----------------------------------------------------
 
@@ -116,13 +150,30 @@ class MemoryRaceRecorder:
             return None
         if is_write:
             if self.write_sig.test(line):
+                self._note_snoop_cut(line, self._exact_writes, Reason.WAW)
                 return self.terminate(Reason.WAW)
             if self.read_sig.test(line):
+                self._note_snoop_cut(line, self._exact_reads, Reason.WAR)
                 return self.terminate(Reason.WAR)
             return None
         if self.write_sig.test(line):
+            self._note_snoop_cut(line, self._exact_writes, Reason.RAW)
             return self.terminate(Reason.RAW)
         return None
+
+    def _note_snoop_cut(self, line: int, exact: set[int],
+                        reason: str) -> None:
+        """Telemetry for a signature hit: count it, and classify it as a
+        Bloom false positive when the exact shadow set disagrees."""
+        if not self.telemetry.enabled:
+            return
+        self._tm_snoop_cuts.inc()
+        if line not in exact:
+            self._tm_bloom_fp.inc()
+            self.telemetry.tracer.instant(
+                "mrr.bloom_fp", cat="mrr", tid=self.rthread or 0,
+                args={"line": line, "reason": reason,
+                      "core": self.core.core_id})
 
     def observe_victims(self, victim_timestamps: list[int]) -> None:
         """This core's transaction terminated remote chunks (diagnostics
@@ -180,6 +231,23 @@ class MemoryRaceRecorder:
             reason=reason,
             load_hash=engine.load_hash if self.config.log_load_hash else None,
         )
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            read_pct = 100.0 * self.read_sig.saturation
+            write_pct = 100.0 * self.write_sig.saturation
+            self._tm_chunks.inc()
+            telemetry.metrics.counter(f"mrr.chunks.{reason}").inc()
+            self._tm_chunk_hist.observe(entry.icount)
+            self._tm_rsw_hist.observe(entry.rsw)
+            self._tm_occupancy.observe(read_pct)
+            self._tm_occupancy.observe(write_pct)
+            telemetry.tracer.complete(
+                f"chunk:{reason}", self._chunk_start_ts, cat="mrr",
+                tid=self.rthread,
+                args={"icount": entry.icount, "rsw": entry.rsw,
+                      "timestamp": timestamp,
+                      "read_sat_pct": round(read_pct, 2),
+                      "write_sat_pct": round(write_pct, 2)})
         self.sink(entry)
         self.chunks_logged += 1
         self._begin_chunk()

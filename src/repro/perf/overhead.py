@@ -17,6 +17,9 @@ from ..config import SimConfig
 from ..errors import ReproError
 from ..isa.program import Program
 from ..session import MODE_FULL, MODE_HW, MODE_OFF, RunOutcome, simulate
+from ..telemetry import Telemetry, get_logger
+
+logger = get_logger("perf.overhead")
 
 
 @dataclass
@@ -70,15 +73,37 @@ def measure_overhead(program: Program, config: SimConfig | None = None,
                      seed: int = 0, policy: str = "random",
                      input_files: Mapping[str, bytes] | None = None,
                      name: str | None = None,
-                     max_units: int = 200_000_000) -> OverheadResult:
-    """Run the three-mode comparison for one program."""
-    runs = {
-        mode: simulate(program, config=config, seed=seed, policy=policy,
-                       mode=mode, input_files=input_files,
-                       max_units=max_units)
-        for mode in (MODE_OFF, MODE_HW, MODE_FULL)
-    }
-    return OverheadResult(name=name or program.name,
-                          native=runs[MODE_OFF],
-                          hw_only=runs[MODE_HW],
-                          full=runs[MODE_FULL])
+                     max_units: int = 200_000_000,
+                     telemetry: Telemetry | None = None) -> OverheadResult:
+    """Run the three-mode comparison for one program.
+
+    ``telemetry`` (or ``config.telemetry.enabled``) instruments all three
+    runs with the same tracer/metrics, so the trace shows the native, the
+    hardware-only and the full-stack pass back to back — the raw material
+    of the paper's F2 breakdown.
+    """
+    label = name or program.name
+    runs: dict[str, RunOutcome] = {}
+    for mode in (MODE_OFF, MODE_HW, MODE_FULL):
+        outcome = simulate(program, config=config, seed=seed, policy=policy,
+                           mode=mode, input_files=input_files,
+                           max_units=max_units, telemetry=telemetry)
+        runs[mode] = outcome
+        logger.debug("%s: mode=%s units=%d cycles=%d", label, mode,
+                     outcome.units, outcome.total_cycles)
+    result = OverheadResult(name=label,
+                            native=runs[MODE_OFF],
+                            hw_only=runs[MODE_HW],
+                            full=runs[MODE_FULL])
+    logger.info("%s: hw overhead %.2f%%, full overhead %.2f%%", label,
+                100 * result.hw_overhead, 100 * result.full_overhead)
+    run_telemetry = runs[MODE_FULL].telemetry
+    if run_telemetry is not None and run_telemetry.enabled:
+        gauges = run_telemetry.metrics
+        gauges.gauge("overhead.native_cycles").set(result.native.total_cycles)
+        gauges.gauge("overhead.hw_pct").set(100 * result.hw_overhead)
+        gauges.gauge("overhead.full_pct").set(100 * result.full_overhead)
+        for component, fraction in result.software_breakdown().items():
+            gauges.gauge(f"overhead.breakdown.{component}_pct").set(
+                100 * fraction)
+    return result

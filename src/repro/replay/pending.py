@@ -16,6 +16,7 @@ from collections import deque
 from ..errors import ReplayDivergenceError
 from ..machine.memory import PhysicalMemory
 from ..machine.store_buffer import PendingStore
+from ..telemetry import NULL_TELEMETRY, Telemetry
 
 MASK32 = 0xFFFFFFFF
 
@@ -65,9 +66,14 @@ class WithheldStores:
 class ReplayPort:
     """Engine memory port: withheld FIFO in front of shared replay memory."""
 
-    def __init__(self, memory: PhysicalMemory, withheld: WithheldStores):
+    def __init__(self, memory: PhysicalMemory, withheld: WithheldStores,
+                 telemetry: Telemetry | None = None):
         self._memory = memory
         self._withheld = withheld
+        self._telemetry = telemetry or NULL_TELEMETRY
+        if self._telemetry.enabled:
+            self._tm_stalls = self._telemetry.metrics.counter(
+                "replay.pending_store_stalls")
 
     def load(self, addr: int, size: int) -> int:
         status, value = self._withheld.resolve(addr, size)
@@ -75,6 +81,8 @@ class ReplayPort:
             return value  # type: ignore[return-value]
         if status == "conflict":
             # Recording drained the store buffer at this exact point.
+            if self._telemetry.enabled:
+                self._tm_stalls.inc()
             self._withheld.commit_all()
         if size == 4:
             return self._memory.read_word(addr)

@@ -23,7 +23,7 @@ pure injection.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..capo.events import (
     EV_EXIT,
@@ -48,6 +48,7 @@ from ..kernel.vfs import STDOUT_FD, STDOUT_NAME
 from ..machine.core import Engine, OUTCOME_OK
 from ..machine.memory import PhysicalMemory
 from ..mrr.chunk import ChunkEntry, Reason
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .pending import ReplayPort, WithheldStores
 from .schedule import build_schedule, validate_schedule
 
@@ -114,9 +115,11 @@ class _ReplayThread:
 class Replayer:
     """Drives a full replay of one recording."""
 
-    def __init__(self, recording: Recording):
+    def __init__(self, recording: Recording,
+                 telemetry: Telemetry | None = None):
         self.recording = recording
         self.config = recording.config
+        self.telemetry = telemetry or NULL_TELEMETRY
         self.memory = PhysicalMemory(self.config.machine.memory_bytes)
         self.memory.load_blob(recording.program.data_base,
                               recording.program.data)
@@ -135,6 +138,14 @@ class Replayer:
         self.exit_codes: dict[int, int] = {}
         self._fd_names: dict[int, str] = {STDOUT_FD: STDOUT_NAME}
         self._next_index = 0
+        if self.telemetry.enabled:
+            # Replay trace time is units executed so far (there is no
+            # machine clock on the replay side).
+            if self.telemetry.tracer.clock is None:
+                self.telemetry.tracer.clock = lambda: self.stats.units
+            metrics = self.telemetry.metrics
+            self._tm_chunks = metrics.counter("replay.chunks")
+            metrics.gauge("replay.schedule_chunks").set(len(self.schedule))
         main_sp = recording.metadata.get(
             "main_sp", self.config.machine.memory_bytes - 16)
         self._create_thread(MAIN_RTHREAD, pc=recording.program.entry,
@@ -151,7 +162,7 @@ class Replayer:
         engine.regs[3] = arg & MASK32   # rdi
         engine.regs[15] = sp & MASK32   # sp
         withheld = WithheldStores(self.memory)
-        port = ReplayPort(self.memory, withheld)
+        port = ReplayPort(self.memory, withheld, telemetry=self.telemetry)
         events = self._events_by_thread.get(rthread, deque())
         self.threads[rthread] = _ReplayThread(rthread, engine, withheld,
                                               port, events)
@@ -188,6 +199,11 @@ class Replayer:
     def result(self) -> ReplayResult:
         """Finalize (consistency checks) and assemble the result."""
         self._finalize()
+        if self.telemetry.enabled:
+            metrics = self.telemetry.metrics
+            metrics.gauge("replay.units").set(self.stats.units)
+            metrics.gauge("replay.events_applied").set(self.stats.events)
+            metrics.gauge("replay.signals").set(self.stats.signals)
         region_digest = None
         region = self.recording.metadata.get("sphere_region")
         if region is not None:
@@ -216,10 +232,36 @@ class Replayer:
         if ctx.finished:
             raise ReplayDivergenceError("chunk after thread exit",
                                         rthread=chunk.rthread)
-        self._pre_chunk(ctx)
-        self._execute_chunk(ctx, chunk)
-        self._boundary(ctx, chunk)
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            self._pre_chunk(ctx)
+            self._execute_chunk(ctx, chunk)
+            self._boundary(ctx, chunk)
+            self.stats.chunks += 1
+            return
+        start = telemetry.tracer.now()
+        try:
+            self._pre_chunk(ctx)
+            self._execute_chunk(ctx, chunk)
+            self._boundary(ctx, chunk)
+        except ReplayDivergenceError as exc:
+            telemetry.tracer.instant(
+                "replay.divergence", cat="replay", tid=chunk.rthread,
+                args={"chunk_index": self._next_index - 1,
+                      "detail": str(exc)})
+            raise
         self.stats.chunks += 1
+        self._tm_chunks.inc()
+        telemetry.tracer.complete(
+            f"replay:{chunk.reason}", start, cat="replay",
+            tid=chunk.rthread,
+            args={"icount": chunk.icount, "rsw": chunk.rsw,
+                  "timestamp": chunk.timestamp})
+        if self.stats.chunks % telemetry.sampling == 0:
+            telemetry.tracer.counter(
+                "replay.progress",
+                {"chunks": self.stats.chunks,
+                 "events": self.stats.events}, cat="replay")
 
     def _pre_chunk(self, ctx: _ReplayThread) -> None:
         if ctx.pending_actions:

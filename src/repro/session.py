@@ -37,6 +37,7 @@ from .machine.machine import Machine
 from .perf.costmodel import CostModel
 from .replay.replayer import Replayer, ReplayResult
 from .replay.verify import VerificationReport, verify_replay
+from .telemetry import Telemetry
 
 MODE_OFF = "off"
 MODES = (MODE_OFF, MODE_HW, MODE_FULL)
@@ -70,6 +71,8 @@ class RunOutcome:
     sphere_digest: str | None = None
     rsm_stats: dict[str, Any] | None = None
     recording: Recording | None = None
+    # The run's telemetry (tracer + metrics); NULL_TELEMETRY when disabled.
+    telemetry: Telemetry | None = None
 
     @property
     def instructions(self) -> int:
@@ -100,7 +103,8 @@ def simulate(program: Program, config: SimConfig | None = None,
              input_files: Mapping[str, bytes] | None = None,
              kernel_seed: int | None = None, cost: CostModel | None = None,
              background_programs: Sequence[Program] = (),
-             max_units: int = 200_000_000) -> RunOutcome:
+             max_units: int = 200_000_000,
+             telemetry: Telemetry | None = None) -> RunOutcome:
     """Run ``program`` to completion under the given recording mode.
 
     ``background_programs`` are loaded as additional *unrecorded*
@@ -112,7 +116,16 @@ def simulate(program: Program, config: SimConfig | None = None,
     if mode not in MODES:
         raise ConfigError(f"unknown mode {mode!r}; choose from {MODES}")
     config = config or DEFAULT_CONFIG
-    machine = Machine(config.machine, cost=cost)
+    if telemetry is None:
+        telemetry = Telemetry.from_config(config.telemetry)
+    machine = Machine(config.machine, cost=cost, telemetry=telemetry)
+    if telemetry.enabled:
+        # Trace time is simulated time: one tick per machine step.
+        telemetry.tracer.clock = lambda: machine.global_step
+        telemetry.tracer.instant("run.start", cat="session",
+                                 args={"mode": mode, "seed": seed,
+                                       "policy": policy,
+                                       "program": program.name})
     machine.load_program(program)
 
     rsm = None
@@ -184,6 +197,20 @@ def simulate(program: Program, config: SimConfig | None = None,
             events=list(rsm.events),
             metadata=metadata,
         )
+    if telemetry.enabled:
+        telemetry.tracer.instant("run.end", cat="session",
+                                 args={"units": units,
+                                       "cycles": machine.total_cycles})
+        metrics = telemetry.metrics
+        metrics.gauge("session.units").set(units)
+        metrics.gauge("session.total_cycles").set(machine.total_cycles)
+        if recording is not None:
+            metrics.gauge("recording.chunks").set(len(recording.chunks))
+            metrics.gauge("recording.input_events").set(len(recording.events))
+            metrics.gauge("recording.chunk_log_bytes").set(
+                recording.chunk_log_bytes())
+            metrics.gauge("recording.input_log_bytes").set(
+                recording.input_log_bytes())
     return RunOutcome(
         mode=mode,
         units=units,
@@ -199,6 +226,7 @@ def simulate(program: Program, config: SimConfig | None = None,
         sphere_digest=sphere_digest,
         rsm_stats=rsm_stats,
         recording=recording,
+        telemetry=telemetry,
     )
 
 
@@ -208,9 +236,10 @@ def record(program: Program, **kwargs) -> RunOutcome:
     return simulate(program, mode=MODE_FULL, **kwargs)
 
 
-def replay_recording(recording: Recording) -> ReplayResult:
+def replay_recording(recording: Recording,
+                     telemetry: Telemetry | None = None) -> ReplayResult:
     """Replay a recording from its logs alone."""
-    return Replayer(recording).run()
+    return Replayer(recording, telemetry=telemetry).run()
 
 
 def verify(outcome: RunOutcome, replayed: ReplayResult) -> VerificationReport:

@@ -1,0 +1,21 @@
+"""Telemetry: structured tracing and metrics for the record/replay stack.
+
+See ``docs/OBSERVABILITY.md`` for the event taxonomy and how to open
+exported traces in Perfetto.
+"""
+
+from .core import NULL_TELEMETRY, Telemetry, get_logger
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import Tracer, validate_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "Telemetry",
+    "Tracer",
+    "get_logger",
+    "validate_trace",
+]

@@ -1,0 +1,146 @@
+"""Metric primitives: counters, gauges, histograms, and their registry.
+
+Metrics are cheap, process-local aggregates meant to be read once at the
+end of a run (``quickrec stats``) or sampled into the trace. The design
+constraints, in order:
+
+1. *Zero influence on execution* — metrics never touch machine state,
+   never charge cycles, and are updated only from observation hooks.
+2. *Cheap when hot* — ``Counter.inc`` is one attribute add; histograms
+   bucket by bit length instead of storing samples.
+3. *Stable names* — dotted ``layer.metric`` names (``mrr.chunks_total``)
+   so snapshots group naturally by subsystem.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins scalar (sizes, occupancies, totals)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A power-of-two bucketed distribution of non-negative values.
+
+    Buckets are keyed by ``int(value).bit_length()`` so observation is a
+    dict increment, not a sample append — the distribution stays bounded
+    no matter how many chunks a run produces. Fractional values in
+    ``[0, 1)`` (e.g. signature saturation) should be scaled by the caller
+    before observation (we record occupancy as a percentage).
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total: float = 0
+        self.min: float | None = None
+        self.max: float | None = None
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bucket = int(value).bit_length()
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Estimated percentile: the upper bound of the bucket that the
+        requested rank falls in (exact to within a factor of two)."""
+        if not self.count:
+            return 0.0
+        rank = fraction * self.count
+        seen = 0
+        for bucket in sorted(self.buckets):
+            seen += self.buckets[bucket]
+            if seen >= rank:
+                return float((1 << bucket) - 1) if bucket else 0.0
+        return float(self.max or 0)
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min or 0,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "max": self.max or 0,
+        }
+
+
+class MetricsRegistry:
+    """Named metric store: get-or-create handles, one flat namespace."""
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: type) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {kind.__name__}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def snapshot(self) -> dict[str, Any]:
+        """All metrics as plain values: counters/gauges to scalars,
+        histograms to their summary dicts, sorted by name."""
+        out: dict[str, Any] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[name] = metric.snapshot()
+            else:
+                out[name] = metric.value
+        return out

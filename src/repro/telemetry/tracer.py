@@ -1,0 +1,160 @@
+"""Structured tracing in the Chrome trace-event JSON format.
+
+The tracer accumulates span (``X``), instant (``i``), counter (``C``) and
+metadata (``M``) events and exports them as a ``{"traceEvents": [...]}``
+document loadable in Perfetto or ``chrome://tracing``.
+
+Timestamps come from a pluggable ``clock`` callable. The simulator wires
+it to the machine's global step counter, so trace time is *simulated*
+time: one trace microsecond per machine step, which is exactly the axis
+the paper's figures are drawn against. Without a clock the tracer falls
+back to an internal monotone counter.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable
+
+PH_BEGIN = "B"
+PH_END = "E"
+PH_COMPLETE = "X"
+PH_INSTANT = "i"
+PH_COUNTER = "C"
+PH_METADATA = "M"
+
+VALID_PHASES = (PH_BEGIN, PH_END, PH_COMPLETE, PH_INSTANT, PH_COUNTER,
+                PH_METADATA)
+
+
+class Tracer:
+    """Append-only event buffer with Chrome trace-event export."""
+
+    def __init__(self, pid: int = 0,
+                 clock: Callable[[], int] | None = None):
+        self.pid = pid
+        self.clock = clock
+        self.events: list[dict[str, Any]] = []
+        self._ticks = 0
+
+    def now(self) -> int:
+        if self.clock is not None:
+            return self.clock()
+        self._ticks += 1
+        return self._ticks
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- emission -----------------------------------------------------------
+
+    def _emit(self, name: str, ph: str, cat: str, tid: int,
+              args: dict[str, Any] | None, **extra: Any) -> None:
+        event: dict[str, Any] = {
+            "name": name,
+            "ph": ph,
+            "ts": self.now(),
+            "pid": self.pid,
+            "tid": tid,
+            "cat": cat,
+        }
+        if args:
+            event["args"] = args
+        event.update(extra)
+        self.events.append(event)
+
+    def instant(self, name: str, cat: str = "", tid: int = 0,
+                args: dict[str, Any] | None = None) -> None:
+        """A point event (``ph: i``, thread scope)."""
+        self._emit(name, PH_INSTANT, cat, tid, args, s="t")
+
+    def complete(self, name: str, start: int, cat: str = "", tid: int = 0,
+                 args: dict[str, Any] | None = None) -> None:
+        """A span (``ph: X``) from ``start`` (a prior :meth:`now` reading)
+        to the current clock."""
+        now = self.now()
+        event: dict[str, Any] = {
+            "name": name,
+            "ph": PH_COMPLETE,
+            "ts": start,
+            "dur": max(0, now - start),
+            "pid": self.pid,
+            "tid": tid,
+            "cat": cat,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def counter(self, name: str, values: dict[str, float], cat: str = "",
+                tid: int = 0) -> None:
+        """A counter track sample (``ph: C``); each key becomes a series."""
+        self._emit(name, PH_COUNTER, cat, tid, dict(values))
+
+    def thread_name(self, tid: int, name: str) -> None:
+        """Metadata event naming a ``tid`` track in the viewer."""
+        event = {
+            "name": "thread_name",
+            "ph": PH_METADATA,
+            "ts": 0,
+            "pid": self.pid,
+            "tid": tid,
+            "cat": "__metadata",
+            "args": {"name": name},
+        }
+        self.events.append(event)
+
+    # -- export -------------------------------------------------------------
+
+    def export(self) -> dict[str, Any]:
+        """The trace as a Chrome trace-event JSON object."""
+        return {
+            "traceEvents": list(self.events),
+            "displayTimeUnit": "ms",
+            "otherData": {"generator": "quickrec"},
+        }
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.export()))
+        return path
+
+    def categories(self) -> set[str]:
+        """Distinct non-metadata event categories present in the trace."""
+        return {event["cat"] for event in self.events
+                if event.get("cat") and event["cat"] != "__metadata"}
+
+
+def validate_trace(document: dict[str, Any]) -> list[str]:
+    """Check a parsed trace document against the Chrome trace-event shape.
+
+    Returns a list of problems (empty means valid). Used by the test
+    suite and by ``quickrec stats --trace`` as a self-check.
+    """
+    problems: list[str] = []
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    for index, event in enumerate(events):
+        where = f"event {index}"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                problems.append(f"{where}: missing {key!r}")
+        ph = event.get("ph")
+        if ph not in VALID_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+        ts = event.get("ts")
+        if not isinstance(ts, int) or ts < 0:
+            problems.append(f"{where}: ts must be a non-negative int")
+        if ph == PH_COMPLETE:
+            dur = event.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                problems.append(f"{where}: X event needs non-negative dur")
+        if ph == PH_COUNTER and not isinstance(event.get("args"), dict):
+            problems.append(f"{where}: C event needs args values")
+    return problems

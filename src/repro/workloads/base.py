@@ -24,11 +24,9 @@ from typing import Callable
 from ..errors import WorkloadError
 from ..isa.builder import (
     KernelBuilder,
-    SYS_EXIT,
     SYS_FUTEX_WAIT,
     SYS_FUTEX_WAKE,
     SYS_READ,
-    SYS_WRITE,
 )
 from ..isa.program import Program
 

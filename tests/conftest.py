@@ -16,7 +16,6 @@ from repro.isa.assembler import assemble
 from repro.isa.program import Program
 from repro.machine.core import (
     Engine,
-    OUTCOME_NONDET,
     OUTCOME_OK,
     OUTCOME_SYSCALL,
 )

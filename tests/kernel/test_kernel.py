@@ -7,7 +7,6 @@ from repro.errors import KernelError
 from repro.isa.builder import (
     KernelBuilder,
     SYS_CLOSE,
-    SYS_EXIT,
     SYS_FUTEX_WAIT,
     SYS_FUTEX_WAKE,
     SYS_GETTID,

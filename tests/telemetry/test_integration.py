@@ -1,0 +1,138 @@
+"""Telemetry end-to-end guarantees.
+
+The two contracts the subsystem lives by:
+
+1. *No influence*: enabling telemetry changes nothing observable about the
+   run — digests, cycles and the encoded logs are bit-identical to a run
+   with it disabled (the disabled path itself is the seed behaviour).
+2. *Honesty*: the counters agree with the recording's own ground truth
+   (chunk counts, event counts, log sizes) and the exported trace is a
+   valid Chrome trace-event document covering every instrumented layer.
+"""
+
+import dataclasses
+import json
+
+from repro import session, workloads
+from repro.config import DEFAULT_CONFIG, TelemetryConfig
+from repro.mrr.logfmt import encode_chunks
+from repro.telemetry import NULL_TELEMETRY, Telemetry, validate_trace
+
+
+def _record(config=None, **kwargs):
+    program, inputs = workloads.build("counter", threads=2)
+    return session.record(program, seed=3, config=config,
+                          input_files=inputs, **kwargs)
+
+
+def _traced_config(sampling=1):
+    return dataclasses.replace(
+        DEFAULT_CONFIG,
+        telemetry=TelemetryConfig(enabled=True, sampling=sampling))
+
+
+def test_disabled_run_uses_null_telemetry():
+    outcome = _record()
+    assert outcome.telemetry is NULL_TELEMETRY
+    assert not outcome.telemetry.enabled
+    assert len(outcome.telemetry.tracer) == 0
+    assert len(outcome.telemetry.metrics) == 0
+
+
+def test_enabled_run_is_bit_identical_to_disabled():
+    plain = _record()
+    traced = _record(config=_traced_config())
+    assert traced.final_memory_digest == plain.final_memory_digest
+    assert traced.total_cycles == plain.total_cycles
+    assert traced.units == plain.units
+    assert traced.rsm_stats == plain.rsm_stats
+    # the logs themselves are bit-identical
+    assert (encode_chunks(traced.recording.chunks)
+            == encode_chunks(plain.recording.chunks))
+    assert [dataclasses.astuple(e) for e in traced.recording.events] \
+        == [dataclasses.astuple(e) for e in plain.recording.events]
+
+
+def test_counters_match_recording_totals():
+    outcome = _record(config=_traced_config())
+    recording = outcome.recording
+    snap = outcome.telemetry.snapshot()
+    assert snap["mrr.chunks_total"] == len(recording.chunks)
+    assert snap["capo.input_events"] == len(recording.events)
+    assert snap["recording.chunks"] == len(recording.chunks)
+    assert snap["recording.chunk_log_bytes"] == recording.chunk_log_bytes()
+    assert snap["recording.input_log_bytes"] == recording.input_log_bytes()
+    assert snap["kernel.syscalls"] == outcome.kernel_stats["syscalls"]
+    # per-reason chunk counters partition the total
+    by_reason = sum(value for name, value in snap.items()
+                    if name.startswith("mrr.chunks."))
+    assert by_reason == len(recording.chunks)
+    # chunk-size histogram saw every chunk
+    assert snap["mrr.chunk_instructions"]["count"] == len(recording.chunks)
+
+
+def test_trace_covers_all_recording_layers(tmp_path):
+    outcome = _record(config=_traced_config())
+    tracer = outcome.telemetry.tracer
+    assert {"machine", "mrr", "capo", "kernel"} <= tracer.categories()
+    document = json.loads(tracer.save(tmp_path / "t.json").read_text())
+    assert validate_trace(document) == []
+
+
+def test_replay_metrics_and_stalls():
+    outcome = _record(config=_traced_config())
+    telemetry = outcome.telemetry
+    result = session.replay_recording(outcome.recording, telemetry=telemetry)
+    snap = telemetry.snapshot()
+    assert snap["replay.chunks"] == result.stats.chunks
+    assert snap["replay.schedule_chunks"] == len(outcome.recording.chunks)
+    assert snap["replay.events_applied"] == result.stats.events
+    assert "replay" in telemetry.tracer.categories()
+
+
+def test_explicit_telemetry_overrides_config():
+    telemetry = Telemetry(sampling=4)
+    outcome = _record(telemetry=telemetry)  # default (disabled) config
+    assert outcome.telemetry is telemetry
+    assert telemetry.snapshot()["mrr.chunks_total"] == \
+        len(outcome.recording.chunks)
+
+
+def test_bloom_false_positives_counted_under_tiny_signature():
+    # A 32-bit signature over a racy workload saturates quickly: snoop
+    # hits are then mostly false positives, which the exact shadow sets
+    # detect. The run must still record and count every termination.
+    program, inputs = workloads.build("counter", threads=4)
+    config = dataclasses.replace(
+        _traced_config(),
+        mrr=dataclasses.replace(DEFAULT_CONFIG.mrr, signature_bits=32,
+                                saturation_threshold=1.0))
+    outcome = session.record(program, seed=1, config=config,
+                             input_files=inputs)
+    snap = outcome.telemetry.snapshot()
+    assert snap["mrr.snoop_terminations"] > 0
+    assert snap["mrr.bloom_false_positives"] <= snap["mrr.snoop_terminations"]
+
+
+def test_telemetry_config_round_trips_in_bundle(tmp_path):
+    from repro.capo.recording import Recording
+
+    outcome = _record(config=_traced_config(sampling=16))
+    path = outcome.recording.save(tmp_path / "rec")
+    loaded = Recording.load(path)
+    assert loaded.config.telemetry.enabled
+    assert loaded.config.telemetry.sampling == 16
+
+
+def test_old_bundles_without_telemetry_section_load(tmp_path):
+    from repro.capo.recording import Recording
+
+    outcome = _record()
+    path = outcome.recording.save(tmp_path / "rec")
+    manifest_path = path / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    del manifest["config"]["telemetry"]  # pre-telemetry bundle
+    manifest_path.write_text(json.dumps(manifest))
+    loaded = Recording.load(path)
+    assert not loaded.config.telemetry.enabled
+    assert session.replay_recording(loaded) is not None

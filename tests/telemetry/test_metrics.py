@@ -1,0 +1,57 @@
+import pytest
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def test_counter_increments():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+
+
+def test_gauge_last_write_wins():
+    gauge = Gauge("g")
+    gauge.set(10)
+    gauge.set(3.5)
+    assert gauge.value == 3.5
+
+
+def test_histogram_summary():
+    hist = Histogram("h")
+    for value in (1, 2, 3, 100):
+        hist.observe(value)
+    snap = hist.snapshot()
+    assert snap["count"] == 4
+    assert snap["min"] == 1
+    assert snap["max"] == 100
+    assert snap["mean"] == pytest.approx(26.5)
+    # p50 falls in the bucket holding 2 and 3 → upper bound 3
+    assert snap["p50"] == 3
+    assert snap["p90"] >= 100 / 2  # within a power of two of the max
+
+
+def test_histogram_empty():
+    hist = Histogram("h")
+    assert hist.snapshot() == {
+        "count": 0, "mean": 0.0, "min": 0, "p50": 0.0, "p90": 0.0, "max": 0}
+
+
+def test_registry_get_or_create_and_snapshot():
+    registry = MetricsRegistry()
+    registry.counter("b.count").inc(2)
+    registry.gauge("a.size").set(7)
+    registry.histogram("c.dist").observe(4)
+    assert registry.counter("b.count").value == 2  # same handle
+    snap = registry.snapshot()
+    assert list(snap) == ["a.size", "b.count", "c.dist"]  # sorted
+    assert snap["b.count"] == 2
+    assert snap["a.size"] == 7
+    assert snap["c.dist"]["count"] == 1
+
+
+def test_registry_kind_conflict_raises():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")

@@ -1,0 +1,59 @@
+import json
+
+from repro.telemetry.tracer import Tracer, validate_trace
+
+
+def test_instant_and_counter_events():
+    tracer = Tracer()
+    tracer.instant("hello", cat="test", tid=3, args={"k": 1})
+    tracer.counter("load", {"a": 1, "b": 2}, cat="test")
+    assert len(tracer) == 2
+    instant, counter = tracer.events
+    assert instant["ph"] == "i" and instant["tid"] == 3
+    assert counter["ph"] == "C" and counter["args"] == {"a": 1, "b": 2}
+
+
+def test_complete_span_duration():
+    tracer = Tracer()
+    ticks = iter(range(10, 100))
+    tracer.clock = lambda: next(ticks)
+    start = tracer.now()          # 10
+    span_name = "work"
+    tracer.complete(span_name, start, cat="test")  # ends at 11
+    event = tracer.events[0]
+    assert event["ph"] == "X"
+    assert event["ts"] == 10
+    assert event["dur"] == 1
+
+
+def test_fallback_clock_is_monotone():
+    tracer = Tracer()
+    stamps = [tracer.now() for _ in range(5)]
+    assert stamps == sorted(stamps)
+    assert len(set(stamps)) == 5
+
+
+def test_export_round_trips_and_validates(tmp_path):
+    tracer = Tracer()
+    tracer.thread_name(1, "rthread 1")
+    tracer.instant("a", cat="x")
+    tracer.complete("b", tracer.now(), cat="y", args={"n": 1})
+    tracer.counter("c", {"v": 3}, cat="x")
+    path = tracer.save(tmp_path / "trace.json")
+    document = json.loads(path.read_text())
+    assert validate_trace(document) == []
+    assert len(document["traceEvents"]) == 4
+    assert tracer.categories() == {"x", "y"}
+
+
+def test_validate_trace_flags_bad_shapes():
+    assert validate_trace({}) == ["traceEvents missing or not a list"]
+    problems = validate_trace({"traceEvents": [
+        {"name": "x", "ph": "?", "ts": -1, "pid": 0, "tid": 0},
+        {"ph": "i", "ts": 0, "pid": 0, "tid": 0},
+        {"name": "s", "ph": "X", "ts": 0, "pid": 0, "tid": 0},
+    ]})
+    assert any("unknown phase" in p for p in problems)
+    assert any("ts must be" in p for p in problems)
+    assert any("missing 'name'" in p for p in problems)
+    assert any("needs non-negative dur" in p for p in problems)

@@ -44,13 +44,26 @@ def test_overhead_command(capsys):
 
 
 def test_unknown_workload_is_clean_error(capsys):
-    assert main(["record", "nosuch"]) == 2
+    assert main(["record", "nosuch"]) == 1
     assert "error:" in capsys.readouterr().err
 
 
 def test_replay_missing_directory_is_clean_error(tmp_path, capsys):
-    assert main(["replay", str(tmp_path / "missing")]) == 2
+    assert main(["replay", str(tmp_path / "missing")]) == 1
     assert "error:" in capsys.readouterr().err
+
+
+def test_usage_error_exits_2(capsys):
+    assert main(["record"]) == 2  # missing workload operand
+    assert main(["nosuchcommand"]) == 2
+    capsys.readouterr()
+
+
+def test_version_flag(capsys):
+    from repro import __version__
+
+    assert main(["--version"]) == 0
+    assert __version__ in capsys.readouterr().out
 
 
 def test_replay_detects_tampered_log(tmp_path, capsys):
@@ -61,7 +74,7 @@ def test_replay_detects_tampered_log(tmp_path, capsys):
     # truncate the chunk log: decode fails -> clean error exit
     chunks = rec_dir / "chunks.bin"
     chunks.write_bytes(chunks.read_bytes()[:-16])
-    assert main(["replay", str(rec_dir)]) == 2
+    assert main(["replay", str(rec_dir)]) == 1
 
 
 def test_timeline_command(tmp_path, capsys):
@@ -107,3 +120,34 @@ def test_debug_full_run_command(tmp_path, capsys):
 def test_fuzz_command(capsys):
     assert main(["fuzz", "--count", "3", "--base-seed", "7"]) == 0
     assert "3/3 runs verified" in capsys.readouterr().out
+
+
+def test_record_trace_writes_valid_chrome_trace(tmp_path, capsys):
+    import json
+
+    from repro.telemetry import validate_trace
+
+    trace_path = tmp_path / "t.json"
+    assert main(["record", "counter", "--threads", "2",
+                 "--trace", str(trace_path)]) == 0
+    assert "trace written to" in capsys.readouterr().out
+    document = json.loads(trace_path.read_text())
+    assert validate_trace(document) == []
+    cats = {e["cat"] for e in document["traceEvents"] if e.get("cat")}
+    assert {"machine", "mrr", "capo", "kernel"} <= cats
+
+
+def test_stats_command_renders_metrics_tables(capsys):
+    assert main(["stats", "counter", "--threads", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "counters and gauges" in out
+    assert "distributions" in out
+    assert "mrr.chunks_total" in out
+    assert "replay.chunks" in out
+
+
+def test_stats_no_replay_skips_replay_metrics(capsys):
+    assert main(["stats", "counter", "--threads", "2", "--no-replay"]) == 0
+    out = capsys.readouterr().out
+    assert "mrr.chunks_total" in out
+    assert "replay.chunks" not in out
