@@ -1,0 +1,23 @@
+#!/usr/bin/env python
+"""Thin wrapper around :mod:`repro.perf.bench`.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/runner.py [--quick] [--workers N] ...
+
+Equivalent to ``python -m repro bench-all``; see that command's ``--help``
+for the flag reference. Appends to ``BENCH_simrate.json`` in the current
+directory unless ``--out`` says otherwise.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.perf.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,7 @@ from ..errors import RecordingError
 from ..machine.machine import Core, Machine
 from ..mrr.chunk import ChunkEntry, Reason
 from ..mrr.recorder import MemoryRaceRecorder
+from ..mrr.signature import BloomSignature
 from ..telemetry import get_logger
 from .chunk_buffer import ChunkBuffer
 from .events import (
@@ -79,7 +80,19 @@ class ReplaySphereManager:
         self.events: list[InputEvent] = []
         self.stats = RSMStats()
         self.telemetry = machine.telemetry
+        # Hoisted enablement flag: the interposition paths run per kernel
+        # event, so they read a plain attribute rather than chasing the
+        # telemetry object (zero-cost-when-disabled contract).
+        self._tm_on = self.telemetry.enabled
         self._seq = 0
+        # Per-rthread stash of signature state across deschedules (the
+        # virtualization path): captured at kernel entry, folded back in at
+        # dispatch via BloomSignature.merge. Every deschedule is preceded by
+        # a kernel entry, whose terminate() empties the live signatures, so
+        # the stash carries no bits today — the merge is a bit-identical
+        # no-op that keeps the protocol explicit (and conservative if the
+        # terminate-before-undispatch sequencing ever changes).
+        self._virt_sigs: dict[int, tuple[BloomSignature, BloomSignature]] = {}
         self._cbufs: list[ChunkBuffer] = []
         for core in machine.cores:
             cbuf = ChunkBuffer(config.mrr.cbuf_entries,
@@ -89,7 +102,7 @@ class ReplaySphereManager:
                                           self._make_sink(core, cbuf),
                                           telemetry=machine.telemetry)
             machine.attach_recorder(core.core_id, recorder)
-        if self.telemetry.enabled:
+        if self._tm_on:
             metrics = self.telemetry.metrics
             self._tm_drains = metrics.counter("capo.cbuf_drains")
             self._tm_batch = metrics.histogram("capo.cbuf_batch_entries")
@@ -122,7 +135,7 @@ class ReplaySphereManager:
                           + cost.cbuf_drain_per_entry * len(batch))
                 core.cycles += charge
                 self.stats.cycles_cbuf_drain += charge
-            if self.telemetry.enabled:
+            if self._tm_on:
                 self._tm_drains.inc()
                 self._tm_batch.observe(len(batch))
                 self.telemetry.tracer.instant(
@@ -136,7 +149,7 @@ class ReplaySphereManager:
 
     def thread_started(self, task) -> None:
         self.sphere.register(task.rthread)
-        if self.telemetry.enabled:
+        if self._tm_on:
             self._tm_threads.inc()
             self.telemetry.tracer.instant(
                 "sphere.thread_started", cat="capo", tid=task.rthread)
@@ -145,8 +158,22 @@ class ReplaySphereManager:
 
     # -- kernel crossings ------------------------------------------------------------
 
+    def _virt_slot(self, rthread: int) -> tuple[BloomSignature, BloomSignature]:
+        slot = self._virt_sigs.get(rthread)
+        if slot is None:
+            mrr = self.config.mrr
+            slot = (BloomSignature(mrr.signature_bits, mrr.signature_hashes),
+                    BloomSignature(mrr.signature_bits, mrr.signature_hashes))
+            self._virt_sigs[rthread] = slot
+        return slot
+
     def on_kernel_entry(self, core: Core, task, reason: str) -> None:
         core.recorder.terminate(reason)
+        stash_read, stash_write = self._virt_slot(task.rthread)
+        stash_read.clear()
+        stash_write.clear()
+        stash_read.merge(core.recorder.read_sig)
+        stash_write.merge(core.recorder.write_sig)
         if self.mode != MODE_FULL:
             return
         cost = self.machine.cost
@@ -163,6 +190,9 @@ class ReplaySphereManager:
 
     def on_dispatch(self, core: Core, task) -> None:
         core.recorder.set_thread(task.rthread)
+        slot = self._virt_sigs.get(task.rthread)
+        if slot is not None:
+            core.recorder.absorb_signatures(*slot)
 
     def on_undispatch(self, core: Core, task) -> None:
         core.recorder.clear_thread()
@@ -184,7 +214,7 @@ class ReplaySphereManager:
         if core is not None:
             core.cycles += charge
         self.stats.cycles_input_log += charge
-        if self.telemetry.enabled:
+        if self._tm_on:
             self._tm_events.inc()
             self._tm_payload.inc(event.payload_bytes)
             self.telemetry.metrics.counter(
@@ -239,7 +269,7 @@ class ReplaySphereManager:
             self.stats.chunks, self.stats.input_events,
             self.stats.input_payload_bytes, self.stats.cbuf_drains,
             self.stats.cycles_software)
-        if self.telemetry.enabled:
+        if self._tm_on:
             self.telemetry.tracer.instant(
                 "rsm.finalize", cat="capo",
                 args={"chunks": self.stats.chunks,

@@ -12,6 +12,7 @@ Subcommands::
     quickrec info /tmp/rec                # recording summary
     quickrec timeline /tmp/rec            # per-thread interleaving timeline
     quickrec debug /tmp/rec --watch counter   # replay until a word changes
+    quickrec bench-all --quick            # simulation-rate perf trajectory
 
 Exit codes: 0 success, 1 library error (:class:`~repro.errors.ReproError`
 or a failed verification), 2 usage error.
@@ -25,6 +26,7 @@ import sys
 
 from . import __version__, session, workloads
 from .analysis import chunks as chunk_analysis
+from .perf import bench
 from .analysis.report import render_kv, render_metrics, render_table
 from .capo.recording import Recording
 from .config import DEFAULT_CONFIG, SimConfig, TelemetryConfig
@@ -241,6 +243,10 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_bench_all(args: argparse.Namespace) -> int:
+    return bench.run(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="quickrec",
@@ -319,6 +325,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--count", type=int, default=20)
     p_fuzz.add_argument("--base-seed", type=int, default=0)
     p_fuzz.set_defaults(fn=_cmd_fuzz)
+
+    p_bench = sub.add_parser(
+        "bench-all", help="simulation-rate benchmarks with a perf "
+                          "trajectory (appends to BENCH_simrate.json)")
+    bench.add_args(p_bench)
+    p_bench.set_defaults(fn=_cmd_bench_all)
 
     return parser
 

@@ -30,6 +30,7 @@ from ..isa.registers import RAX, RCX
 from ..machine.core import (
     EngineContext,
     OUTCOME_NONDET,
+    OUTCOME_OK,
     OUTCOME_SYSCALL,
 )
 from ..machine.interleave import Interleaver
@@ -94,10 +95,18 @@ class Kernel:
         self.rng = random.Random(seed)
         self.stats = KernelStats()
         self.telemetry = machine.telemetry
+        # Hoisted enablement flag: syscall/dispatch/wake paths run per
+        # kernel event, so they read a plain attribute rather than chasing
+        # the telemetry object (zero-cost-when-disabled contract).
+        self._tm_on = self.telemetry.enabled
         self._next_tid = 1
         self._next_pid = 1
         self._live = 0
-        if self.telemetry.enabled:
+        # Core ids with a dispatched task, ascending — rebuilt by
+        # _dispatch/_undispatch (the only writers of ``core.task``) so the
+        # run loop need not recompute it every unit.
+        self._running_ids: list[int] = []
+        if self._tm_on:
             metrics = self.telemetry.metrics
             self._tm_syscalls = metrics.counter("kernel.syscalls")
             self._tm_futex_wakes = metrics.counter("kernel.futex_wakes")
@@ -206,7 +215,7 @@ class Kernel:
             task.state = STATE_RUNNABLE
             task.wait_channel = None
             self.sched.enqueue(tid)
-        if self.telemetry.enabled:
+        if self._tm_on:
             self._tm_futex_wakes.inc()
             self.telemetry.tracer.instant(
                 "futex.wake", cat="kernel",
@@ -234,21 +243,60 @@ class Kernel:
     # -- the run loop -----------------------------------------------------------------
 
     def run(self, interleaver: Interleaver, max_units: int = 200_000_000) -> int:
-        """Run until every task exits; returns units executed."""
+        """Run until every task exits; returns units executed.
+
+        The loop body inlines two per-unit calls:
+
+        - the random interleaver's rejection sampling (when the interleaver
+          exposes ``_getrandbits``) — same bits consumed as ``choose()``, so
+          recordings are unchanged;
+        - :meth:`after_unit`'s fast path — the quantum/trap/wakeup checks
+          that are no-ops for the overwhelming majority of units. The slow
+          cases share :meth:`_after_unit_slow` with ``after_unit``.
+
+        ``sched.queue`` and ``sched.sleepers`` are mutated in place by the
+        scheduler (never rebound), so hoisting the references is safe.
+        """
         units = 0
         idle_streak = 0
+        machine = self.machine
+        cores = machine.cores
+        step_core = machine.step_core
+        choose = interleaver.choose
+        getrandbits = getattr(interleaver, "_getrandbits", None)
+        sched = self.sched
+        run_queue = sched.queue
+        sleepers = sched.sleepers
         while self._live > 0:
-            candidates = self.runnable_core_ids()
-            if not candidates:
+            candidates = self._running_ids
+            n = len(candidates)
+            if n == 0:
                 self.idle_tick()
                 idle_streak += 1
                 if idle_streak > _IDLE_LIMIT:
                     raise KernelError("idle limit exceeded (deadlock?)")
                 continue
             idle_streak = 0
-            core_id = interleaver.choose(candidates)
-            outcome = self.machine.step_core(core_id)
-            self.after_unit(core_id, outcome)
+            if getrandbits is None:
+                # Stateful policies (rr, bursty) must see every choice.
+                core_id = choose(candidates)
+            elif n == 1:
+                core_id = candidates[0]
+            else:
+                k = n.bit_length()
+                r = getrandbits(k)
+                while r >= n:
+                    r = getrandbits(k)
+                core_id = candidates[r]
+            outcome = step_core(core_id)
+            core = cores[core_id]
+            task = core.task
+            task.units_in_quantum += 1
+            if (outcome != OUTCOME_OK
+                    or task.units_in_quantum >= task.quantum_limit
+                    or run_queue
+                    or (sleepers and sleepers[0][0] <= machine.global_step)):
+                self._after_unit_slow(core, task, outcome)
             units += 1
             if units > max_units:
                 raise KernelError(f"unit budget {max_units} exceeded")
@@ -270,17 +318,38 @@ class Kernel:
         self._fill_idle_cores()
 
     def after_unit(self, core_id: int, outcome: str) -> None:
-        """Post-unit kernel work: traps, quantum, wakeups, dispatch."""
+        """Post-unit kernel work: traps, quantum, wakeups, dispatch.
+
+        :meth:`run` inlines the fast-path check below; this method stays
+        the single entry point for callers stepping cores themselves.
+        """
         core = self.machine.cores[core_id]
         task = core.task
         task.units_in_quantum += 1
+        # Fast path: no trap, quantum not expired, no sleeper due and no
+        # task waiting for a core — every remaining step below is a no-op,
+        # so skip the calls entirely. This is the overwhelmingly common
+        # case and the per-unit kernel cost that dominates simulation rate.
+        sched = self.sched
+        if (outcome == OUTCOME_OK
+                and task.units_in_quantum < task.quantum_limit
+                and not sched.queue
+                and (not sched.sleepers
+                     or sched.sleepers[0][0] > self.machine.global_step)):
+            return
+        self._after_unit_slow(core, task, outcome)
+
+    def _after_unit_slow(self, core: Core, task: Task, outcome: str) -> None:
+        """The rare post-unit work: wakeups, trap handling, preemption and
+        core refill. ``task.units_in_quantum`` is already incremented."""
         self._wake_sleepers()
-        if outcome == OUTCOME_SYSCALL:
-            self._handle_syscall(core, task)
-        elif outcome == OUTCOME_NONDET:
-            self._handle_nondet(core, task)
-        if (core.task is task and task.state == STATE_RUNNING
-                and task.units_in_quantum >= task.quantum_limit):
+        if outcome != OUTCOME_OK:
+            if outcome == OUTCOME_SYSCALL:
+                self._handle_syscall(core, task)
+            elif outcome == OUTCOME_NONDET:
+                self._handle_nondet(core, task)
+        if (task.units_in_quantum >= task.quantum_limit
+                and core.task is task and task.state == STATE_RUNNING):
             self._preempt(core, task)
         self._fill_idle_cores()
 
@@ -307,7 +376,7 @@ class Kernel:
         self.stats.syscalls += 1
         self.stats.syscalls_by_name[name] = \
             self.stats.syscalls_by_name.get(name, 0) + 1
-        if self.telemetry.enabled:
+        if self._tm_on:
             self._tm_syscalls.inc()
             self.telemetry.metrics.counter(f"kernel.syscalls.{name}").inc()
             self.telemetry.tracer.instant(
@@ -360,7 +429,7 @@ class Kernel:
             value = CPUID_VALUE ^ self.machine.config.num_cores
         else:  # pragma: no cover - dispatch guarantees the mnemonics above
             raise KernelError(f"unexpected nondet instruction {instr.mnemonic}")
-        if self.telemetry.enabled:
+        if self._tm_on:
             self.telemetry.tracer.instant(
                 f"nondet.{instr.mnemonic}", cat="kernel", tid=task.tid,
                 args={"value": value})
@@ -379,11 +448,13 @@ class Kernel:
 
     def _dispatch(self, core: Core, task: Task) -> None:
         core.task = task
+        self._running_ids = [c.core_id for c in self.machine.cores
+                             if c.task is not None]
         task.core_id = core.core_id
         task.state = STATE_RUNNING
         task.units_in_quantum = 0
         task.quantum_limit = self._quantum()
-        if self.telemetry.enabled:
+        if self._tm_on:
             self._tm_dispatches.inc()
             self.telemetry.tracer.instant(
                 "sched.dispatch", cat="kernel", tid=task.tid,
@@ -404,6 +475,8 @@ class Kernel:
         task.context = core.engine.save_context()
         task.core_id = None
         core.task = None
+        self._running_ids = [c.core_id for c in self.machine.cores
+                             if c.task is not None]
         if self.rsm is not None and task.recorded:
             self.rsm.on_undispatch(core, task)
 
@@ -412,7 +485,7 @@ class Kernel:
         core.cycles += self.machine.cost.context_switch_base
         self.stats.preemptions += 1
         self.stats.context_switches += 1
-        if self.telemetry.enabled:
+        if self._tm_on:
             self._tm_preempts.inc()
             self.telemetry.tracer.instant(
                 "sched.preempt", cat="kernel", tid=task.tid,
@@ -432,7 +505,7 @@ class Kernel:
             self.sched.add_sleeper(value, task.tid)
         else:  # pragma: no cover - handlers only emit the two kinds above
             raise KernelError(f"unknown wait channel {channel!r}")
-        if self.telemetry.enabled:
+        if self._tm_on:
             self._tm_blocks.inc()
             self.telemetry.tracer.instant(
                 "sched.block", cat="kernel", tid=task.tid,
@@ -457,6 +530,8 @@ class Kernel:
             self.sched.enqueue(tid)
 
     def _fill_idle_cores(self) -> None:
+        if len(self.sched) == 0:
+            return
         for core in self.machine.cores:
             if core.task is not None:
                 continue
@@ -481,7 +556,7 @@ class Kernel:
             engine.regs[RCX] = signo
             engine.cur_memops = 0
             self.stats.signals_delivered += 1
-            if self.telemetry.enabled:
+            if self._tm_on:
                 self._tm_signals.inc()
                 self.telemetry.tracer.instant(
                     "signal.deliver", cat="kernel", tid=task.tid,

@@ -19,6 +19,10 @@ from typing import Protocol
 
 from .cache import EXCLUSIVE, MESICache, MODIFIED, SHARED
 
+# Module-level default for presence-based snoop filtering; the MESI
+# invariant suite flips this off to compare filtered and unfiltered runs.
+SNOOP_FILTER_DEFAULT = True
+
 
 class Snooper(Protocol):
     """A bus observer (the MRR). Returns the timestamp of a chunk it
@@ -39,7 +43,7 @@ class BusStats:
         return dict(self.__dict__)
 
 
-@dataclass
+@dataclass(slots=True)
 class BusResult:
     """Outcome of one transaction."""
 
@@ -51,7 +55,7 @@ class BusResult:
 class SnoopBus:
     """Serializes coherence transactions across ``num_cores`` agents."""
 
-    def __init__(self, num_cores: int):
+    def __init__(self, num_cores: int, filter_snoops: bool | None = None):
         self.num_cores = num_cores
         self._caches: list[MESICache | None] = [None] * num_cores
         self._snoopers: list[Snooper | None] = [None] * num_cores
@@ -59,6 +63,24 @@ class SnoopBus:
         # Monotonic transaction sequence, usable as an idealized global clock
         # (the timestamp_piggyback=False ablation).
         self.sequence = 0
+        if filter_snoops is None:
+            filter_snoops = SNOOP_FILTER_DEFAULT
+        self.filter_snoops = filter_snoops
+        # Conservative per-line presence summary: bit c set means core c
+        # *may* hold the line. Lines with no transaction history default to
+        # "anyone may hold it" (tests pre-fill caches directly, bypassing
+        # the bus). A bit is cleared only by a remote-write transaction —
+        # which invalidates that core's copy AND snoops its recorder in the
+        # same transaction — and is never cleared on eviction, so the
+        # summary is always a superset of the true holder set and of every
+        # line in any recorder signature (pinned by the MESI invariant
+        # suite). Always maintained, even with filtering off.
+        self._all_mask = (1 << num_cores) - 1
+        self._presence: dict[int, int] = {}
+
+    def presence_mask(self, line: int) -> int:
+        """The conservative holder bitmask for ``line``."""
+        return self._presence.get(line, self._all_mask)
 
     def attach_cache(self, core_id: int, cache: MESICache) -> None:
         self._caches[core_id] = cache
@@ -83,26 +105,54 @@ class SnoopBus:
         else:
             self.stats.reads += 1
 
+        # Presence-filtered snooping: cores whose presence bit is clear can
+        # hold neither the line (their copy was invalidated by the write
+        # that cleared the bit) nor a signature entry for it (that same
+        # transaction snooped their recorder, and a true member always
+        # tests positive, terminating the chunk and clearing the
+        # signatures). Skipping them is therefore a no-op — they would
+        # mutate no cache state, no stats, and no recorder state. The
+        # filtered mask is read once, before any update, so a transaction
+        # never filters on its own effects.
+        present = (self._presence.get(line, self._all_mask)
+                   if self.filter_snoops else self._all_mask)
+
+        # One pass per core: the cache snoop and the recorder snoop touch
+        # disjoint state, so interleaving them per-core is observably
+        # identical to two passes (victim order is still ascending core id).
         shared = False
         flushed = False
+        victims: list[int] = []
+        snoopers = self._snoopers
         for core_id, cache in enumerate(self._caches):
-            if core_id == requester or cache is None:
+            if core_id == requester or not present & (1 << core_id):
                 continue
-            if is_write:
-                flushed |= cache.snoop_remote_write(line)
-            else:
-                if cache.snoop_remote_read(line):
+            if cache is not None:
+                if is_write:
+                    flushed |= cache.snoop_remote_write(line)
+                elif cache.snoop_remote_read(line):
                     shared = True
+            snooper = snoopers[core_id]
+            if snooper is not None:
+                timestamp = snooper.snoop(line, is_write)
+                if timestamp is not None:
+                    victims.append(timestamp)
         if flushed:
             self.stats.flushes += 1
 
-        victims: list[int] = []
-        for core_id, snooper in enumerate(self._snoopers):
-            if core_id == requester or snooper is None:
-                continue
-            timestamp = snooper.snoop(line, is_write)
-            if timestamp is not None:
-                victims.append(timestamp)
+        if is_write:
+            # Everyone else was just invalidated — and, crucially, also
+            # snooped: any recorder whose signature held the line has just
+            # terminated its chunk and cleared its signatures. Only now is
+            # clearing their presence bits sound.
+            self._presence[line] = 1 << requester
+        else:
+            # Reads only ADD the requester: a core that evicted the line
+            # may still carry it in a chunk signature, and narrowing to the
+            # caches that answered the BusRd would stop snooping that
+            # recorder — missing a later WAR conflict. Bits are cleared by
+            # writes alone.
+            self._presence[line] = present | (1 << requester)
 
         if is_write:
             fill_state = MODIFIED

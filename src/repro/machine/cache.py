@@ -55,9 +55,14 @@ class MESICache:
         self._sets: list[OrderedDict[int, str]] = [
             OrderedDict() for _ in range(self.config.sets)
         ]
+        # line_bytes and sets are validated powers of two, so set selection
+        # is a shift+mask — same result as CacheConfig.set_index for the
+        # non-negative addresses the machine produces.
+        self._line_shift = self.config.line_bytes.bit_length() - 1
+        self._set_mask = self.config.sets - 1
 
     def _set_for(self, line: int) -> OrderedDict[int, str]:
-        return self._sets[self.config.set_index(line)]
+        return self._sets[(line >> self._line_shift) & self._set_mask]
 
     def state(self, line: int) -> str | None:
         """MESI state of a line, or None if not cached (Invalid)."""

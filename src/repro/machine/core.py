@@ -33,6 +33,11 @@ OUTCOME_OK = "ok"
 OUTCOME_SYSCALL = "syscall"
 OUTCOME_NONDET = "nondet"
 
+# Module-level default for the decode cache (see repro.machine.decode).
+# The interpretive path is kept as a debug/reference implementation; the
+# equivalence property suite flips this off to run both paths in lockstep.
+DECODE_CACHE_DEFAULT = True
+
 
 class MemoryPort(Protocol):
     """The engine's window onto memory. All addresses are byte addresses;
@@ -65,8 +70,11 @@ def _signed(value: int) -> int:
 class Engine:
     """Architectural state plus the instruction interpreter."""
 
-    def __init__(self, program: Program):
-        self.program = program
+    def __init__(self, program: Program, decode_cache: bool | None = None):
+        if decode_cache is None:
+            decode_cache = DECODE_CACHE_DEFAULT
+        self._decode_cache = decode_cache
+        self.program = program  # property: also binds the dispatch table
         self.regs: list[int] = [0] * NUM_REGS
         self.pc = program.entry
         self.zf = 0
@@ -83,6 +91,25 @@ class Engine:
         self.load_hash = 0
         self.loads = 0
         self.stores = 0
+
+    @property
+    def program(self) -> Program:
+        return self._program
+
+    @program.setter
+    def program(self, program: Program) -> None:
+        """Point the engine at ``program`` and rebind the dispatch table.
+
+        The kernel reassigns this on every task dispatch, so the compiled
+        table must follow the program; :func:`decoded_program` memoizes per
+        program object, making the common same-program case a dict hit.
+        """
+        self._program = program
+        if self._decode_cache:
+            from .decode import decoded_program
+            self._dispatch = decoded_program(program)
+        else:
+            self._dispatch = None
 
     # -- context save/restore ------------------------------------------------
 
@@ -182,6 +209,13 @@ class Engine:
         untouched; the caller processes the trap and calls
         :meth:`complete_trap`.
         """
+        dispatch = self._dispatch
+        if dispatch is not None:
+            pc = self.pc
+            if not 0 <= pc < len(dispatch):
+                raise MachineFault(f"pc {pc} outside code", pc=pc)
+            outcome = dispatch[pc](self, port)
+            return OUTCOME_OK if outcome is None else outcome
         if not 0 <= self.pc < len(self.program.instructions):
             raise MachineFault(f"pc {self.pc} outside code", pc=self.pc)
         instr = self.program.instructions[self.pc]

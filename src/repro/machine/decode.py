@@ -1,0 +1,666 @@
+"""The decode cache: pre-resolved dispatch closures for the engine.
+
+The interpretive path in :mod:`repro.machine.core` re-inspects ``Instr``
+metadata on every unit — isinstance checks on operands, a dict lookup on the
+mnemonic, several helper-method calls. All of that is static per
+instruction, so at :class:`~repro.isa.program.Program` load time this module
+compiles each instruction once into a *dispatch closure*: a single callable
+``fn(engine, port) -> outcome | None`` with the operand fields (register
+numbers, immediate values, effective-address shapes, branch targets) already
+extracted into its cells. ``Engine.step`` then executes one unit with one
+list index and one call.
+
+Equivalence contract (pinned by ``tests/property/test_property_decode.py``):
+a compiled closure performs *bit-identical* state transitions to the
+interpretive handler for the same instruction — registers, pc, flags,
+``retired``/``cur_memops``, the load/store counters, the rolling
+``load_hash``, fault messages, and trap outcomes all match, including
+mid-``rep`` save/restore resumability.
+
+Compiled programs are memoized per ``Program`` object (replay spawns one
+engine per thread over the same program; they share one compiled table).
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Callable
+
+from ..errors import IllegalInstructionError, MachineFault
+from ..isa.instructions import Instr
+from ..isa.operands import Mem, Reg
+from ..isa.program import Program
+from ..isa.registers import RAX, RCX, RDI, RSI, SP
+
+MASK32 = 0xFFFFFFFF
+_HASH_MASK = (1 << 64) - 1
+_FNV_PRIME = 0x100000001B3
+
+# Outcome literals (values shared with repro.machine.core, which this module
+# must not import at top level: core imports us).
+_OUTCOME_SYSCALL = "syscall"
+_OUTCOME_NONDET = "nondet"
+
+#: A compiled unit: returns None for OK or an OUTCOME_* string for a trap.
+DispatchFn = Callable[[object, object], str | None]
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+# -- operand pre-extraction ---------------------------------------------------
+
+def _compile_ea(mem: Mem) -> Callable[[list[int]], int]:
+    """Close over the addressing-mode fields; identical arithmetic to
+    :meth:`repro.isa.operands.Mem.effective_address`."""
+    base, index, scale, disp = mem.base, mem.index, mem.scale, mem.disp
+    if base is None and index is None:
+        return lambda regs: disp
+    if index is None:
+        return lambda regs: (regs[base] + disp) & MASK32
+    if base is None:
+        return lambda regs: (regs[index] * scale + disp) & MASK32
+    return lambda regs: (regs[base] + regs[index] * scale + disp) & MASK32
+
+
+def _compile_val(op) -> Callable[[list[int]], int]:
+    """A reader for a 'v' operand (register or immediate)."""
+    if type(op) is Reg:
+        number = op.number
+        return lambda regs: regs[number]
+    value = op.value
+    return lambda regs: value
+
+
+# -- per-mnemonic compilers ---------------------------------------------------
+# Each mirrors the interpretive handler of the same mnemonic exactly,
+# including side-effect ordering and fault messages.
+
+def _c_mov(i: Instr) -> DispatchFn:
+    dest = i.ops[0].number
+    read = _compile_val(i.ops[1])
+
+    def fn(e, port):
+        e.regs[dest] = read(e.regs) & MASK32
+        e.pc += 1
+        e.retired += 1
+        e.cur_memops = 0
+    return fn
+
+
+def _c_lea(i: Instr) -> DispatchFn:
+    dest = i.ops[0].number
+    ea = _compile_ea(i.ops[1])
+
+    def fn(e, port):
+        e.regs[dest] = ea(e.regs)
+        e.pc += 1
+        e.retired += 1
+        e.cur_memops = 0
+    return fn
+
+
+def _c_load(i: Instr) -> DispatchFn:
+    dest = i.ops[0].number
+    ea = _compile_ea(i.ops[1])
+
+    def fn(e, port):
+        addr = ea(e.regs)
+        if addr & 3:
+            raise MachineFault(f"misaligned word load at {addr:#x}", pc=e.pc)
+        value = port.load(addr, 4)
+        e.loads += 1
+        e.load_hash = ((e.load_hash * _FNV_PRIME) + value + 1) & _HASH_MASK
+        e.regs[dest] = value & MASK32
+        e.pc += 1
+        e.retired += 1
+        e.cur_memops = 0
+    return fn
+
+
+def _c_loadb(i: Instr) -> DispatchFn:
+    dest = i.ops[0].number
+    ea = _compile_ea(i.ops[1])
+
+    def fn(e, port):
+        value = port.load(ea(e.regs), 1)
+        e.loads += 1
+        e.load_hash = ((e.load_hash * _FNV_PRIME) + value + 1) & _HASH_MASK
+        e.regs[dest] = value & MASK32
+        e.pc += 1
+        e.retired += 1
+        e.cur_memops = 0
+    return fn
+
+
+def _c_store(i: Instr) -> DispatchFn:
+    ea = _compile_ea(i.ops[0])
+    read = _compile_val(i.ops[1])
+
+    def fn(e, port):
+        addr = ea(e.regs)
+        if addr & 3:
+            raise MachineFault(f"misaligned word store at {addr:#x}", pc=e.pc)
+        port.store(addr, 4, read(e.regs) & MASK32)
+        e.stores += 1
+        e.pc += 1
+        e.retired += 1
+        e.cur_memops = 0
+    return fn
+
+
+def _c_storeb(i: Instr) -> DispatchFn:
+    ea = _compile_ea(i.ops[0])
+    read = _compile_val(i.ops[1])
+
+    def fn(e, port):
+        port.store(ea(e.regs), 1, read(e.regs) & 0xFF)
+        e.stores += 1
+        e.pc += 1
+        e.retired += 1
+        e.cur_memops = 0
+    return fn
+
+
+def _c_push(i: Instr) -> DispatchFn:
+    read = _compile_val(i.ops[0])
+
+    def fn(e, port):
+        sp = (e.regs[SP] - 4) & MASK32
+        if sp & 3:
+            raise MachineFault(f"misaligned word store at {sp:#x}", pc=e.pc)
+        port.store(sp, 4, read(e.regs) & MASK32)
+        e.stores += 1
+        e.regs[SP] = sp
+        e.pc += 1
+        e.retired += 1
+        e.cur_memops = 0
+    return fn
+
+
+def _c_pop(i: Instr) -> DispatchFn:
+    dest = i.ops[0].number
+
+    def fn(e, port):
+        addr = e.regs[SP]
+        if addr & 3:
+            raise MachineFault(f"misaligned word load at {addr:#x}", pc=e.pc)
+        value = port.load(addr, 4)
+        e.loads += 1
+        e.load_hash = ((e.load_hash * _FNV_PRIME) + value + 1) & _HASH_MASK
+        e.regs[SP] = (addr + 4) & MASK32
+        e.regs[dest] = value & MASK32
+        e.pc += 1
+        e.retired += 1
+        e.cur_memops = 0
+    return fn
+
+
+def _alu_compiler(compute: Callable) -> Callable[[Instr], DispatchFn]:
+    def compiler(i: Instr) -> DispatchFn:
+        dest = i.ops[0].number
+        read_a = _compile_val(i.ops[1])
+        read_b = _compile_val(i.ops[2])
+
+        def fn(e, port):
+            e.regs[dest] = compute(e, read_a(e.regs), read_b(e.regs))
+            e.pc += 1
+            e.retired += 1
+            e.cur_memops = 0
+        return fn
+    return compiler
+
+
+def _c_add(i: Instr) -> DispatchFn:
+    """add with Engine._flags_add inlined (same arithmetic, flag for flag)."""
+    dest = i.ops[0].number
+    read_a = _compile_val(i.ops[1])
+    read_b = _compile_val(i.ops[2])
+
+    def fn(e, port):
+        regs = e.regs
+        a = read_a(regs)
+        b = read_b(regs)
+        raw = a + b
+        result = raw & MASK32
+        e.zf = 1 if result == 0 else 0
+        e.sf = (result >> 31) & 1
+        e.cf = 1 if raw > MASK32 else 0
+        sa = a - 0x100000000 if a & 0x80000000 else a
+        sb = b - 0x100000000 if b & 0x80000000 else b
+        sr = result - 0x100000000 if result & 0x80000000 else result
+        e.of = 1 if sa + sb != sr else 0
+        regs[dest] = result
+        e.pc += 1
+        e.retired += 1
+        e.cur_memops = 0
+    return fn
+
+
+def _c_sub(i: Instr) -> DispatchFn:
+    """sub with Engine._flags_sub inlined."""
+    dest = i.ops[0].number
+    read_a = _compile_val(i.ops[1])
+    read_b = _compile_val(i.ops[2])
+
+    def fn(e, port):
+        regs = e.regs
+        a = read_a(regs)
+        b = read_b(regs)
+        result = (a - b) & MASK32
+        e.zf = 1 if result == 0 else 0
+        e.sf = (result >> 31) & 1
+        e.cf = 1 if a < b else 0
+        sa = a - 0x100000000 if a & 0x80000000 else a
+        sb = b - 0x100000000 if b & 0x80000000 else b
+        sr = result - 0x100000000 if result & 0x80000000 else result
+        e.of = 1 if sa - sb != sr else 0
+        regs[dest] = result
+        e.pc += 1
+        e.retired += 1
+        e.cur_memops = 0
+    return fn
+
+
+def _logic_alu_compiler(compute: Callable) -> Callable[[Instr], DispatchFn]:
+    """ALU ops with logic-style flags (zf/sf from result, cf=of=0):
+    Engine._flags_logic inlined into the closure."""
+    def compiler(i: Instr) -> DispatchFn:
+        dest = i.ops[0].number
+        read_a = _compile_val(i.ops[1])
+        read_b = _compile_val(i.ops[2])
+
+        def fn(e, port):
+            regs = e.regs
+            result = compute(read_a(regs), read_b(regs)) & MASK32
+            e.zf = 1 if result == 0 else 0
+            e.sf = (result >> 31) & 1
+            e.cf = 0
+            e.of = 0
+            regs[dest] = result
+            e.pc += 1
+            e.retired += 1
+            e.cur_memops = 0
+        return fn
+    return compiler
+
+
+def _k_div(e, a, b):
+    if b == 0:
+        raise MachineFault("division by zero", pc=e.pc)
+    return e._flags_logic(a // b)
+
+
+def _k_mod(e, a, b):
+    if b == 0:
+        raise MachineFault("division by zero", pc=e.pc)
+    return e._flags_logic(a % b)
+
+
+def _c_neg(i: Instr) -> DispatchFn:
+    dest = i.ops[0].number
+    src = i.ops[1].number
+
+    def fn(e, port):
+        e.regs[dest] = e._flags_sub(0, e.regs[src])
+        e.pc += 1
+        e.retired += 1
+        e.cur_memops = 0
+    return fn
+
+
+def _c_not(i: Instr) -> DispatchFn:
+    dest = i.ops[0].number
+    src = i.ops[1].number
+
+    def fn(e, port):
+        e.regs[dest] = e._flags_logic(~e.regs[src])
+        e.pc += 1
+        e.retired += 1
+        e.cur_memops = 0
+    return fn
+
+
+def _c_cmp(i: Instr) -> DispatchFn:
+    src = i.ops[0].number
+    read = _compile_val(i.ops[1])
+
+    def fn(e, port):
+        regs = e.regs
+        a = regs[src]
+        b = read(regs)
+        result = (a - b) & MASK32
+        e.zf = 1 if result == 0 else 0
+        e.sf = (result >> 31) & 1
+        e.cf = 1 if a < b else 0
+        sa = a - 0x100000000 if a & 0x80000000 else a
+        sb = b - 0x100000000 if b & 0x80000000 else b
+        sr = result - 0x100000000 if result & 0x80000000 else result
+        e.of = 1 if sa - sb != sr else 0
+        e.pc += 1
+        e.retired += 1
+        e.cur_memops = 0
+    return fn
+
+
+def _c_test(i: Instr) -> DispatchFn:
+    src = i.ops[0].number
+    read = _compile_val(i.ops[1])
+
+    def fn(e, port):
+        regs = e.regs
+        result = regs[src] & read(regs)
+        e.zf = 1 if result == 0 else 0
+        e.sf = (result >> 31) & 1
+        e.cf = 0
+        e.of = 0
+        e.pc += 1
+        e.retired += 1
+        e.cur_memops = 0
+    return fn
+
+
+def _c_jmp(i: Instr) -> DispatchFn:
+    target = i.ops[0].value
+
+    def fn(e, port):
+        e.pc = target
+        e.retired += 1
+        e.cur_memops = 0
+    return fn
+
+
+def _branch_compiler(pred: Callable) -> Callable[[Instr], DispatchFn]:
+    def compiler(i: Instr) -> DispatchFn:
+        target = i.ops[0].value
+
+        def fn(e, port):
+            if pred(e):
+                e.pc = target
+            else:
+                e.pc += 1
+            e.retired += 1
+            e.cur_memops = 0
+        return fn
+    return compiler
+
+
+def _c_call(i: Instr) -> DispatchFn:
+    target = i.ops[0].value
+
+    def fn(e, port):
+        sp = (e.regs[SP] - 4) & MASK32
+        if sp & 3:
+            raise MachineFault(f"misaligned word store at {sp:#x}", pc=e.pc)
+        port.store(sp, 4, (e.pc + 1) & MASK32)
+        e.stores += 1
+        e.regs[SP] = sp
+        e.pc = target
+        e.retired += 1
+        e.cur_memops = 0
+    return fn
+
+
+def _c_ret(i: Instr) -> DispatchFn:
+    def fn(e, port):
+        addr = e.regs[SP]
+        if addr & 3:
+            raise MachineFault(f"misaligned word load at {addr:#x}", pc=e.pc)
+        target = port.load(addr, 4)
+        e.loads += 1
+        e.load_hash = ((e.load_hash * _FNV_PRIME) + target + 1) & _HASH_MASK
+        e.regs[SP] = (addr + 4) & MASK32
+        e.pc = target
+        e.retired += 1
+        e.cur_memops = 0
+    return fn
+
+
+def _c_xadd(i: Instr) -> DispatchFn:
+    ea = _compile_ea(i.ops[0])
+    reg = i.ops[1].number
+
+    def fn(e, port):
+        addr = ea(e.regs)
+        if addr & 3:
+            raise MachineFault(f"misaligned xadd at {addr:#x}", pc=e.pc)
+        port.fence()
+        old = port.atomic_load(addr, 4)
+        e.loads += 1
+        e.load_hash = ((e.load_hash * _FNV_PRIME) + old + 1) & _HASH_MASK
+        b = e.regs[reg]
+        raw = old + b
+        result = raw & MASK32
+        e.zf = 1 if result == 0 else 0
+        e.sf = (result >> 31) & 1
+        e.cf = 1 if raw > MASK32 else 0
+        sa = old - 0x100000000 if old & 0x80000000 else old
+        sb = b - 0x100000000 if b & 0x80000000 else b
+        sr = result - 0x100000000 if result & 0x80000000 else result
+        e.of = 1 if sa + sb != sr else 0
+        port.atomic_store(addr, 4, result)
+        e.stores += 1
+        e.regs[reg] = old & MASK32
+        e.pc += 1
+        e.retired += 1
+        e.cur_memops = 0
+    return fn
+
+
+def _c_xchg(i: Instr) -> DispatchFn:
+    ea = _compile_ea(i.ops[0])
+    reg = i.ops[1].number
+
+    def fn(e, port):
+        addr = ea(e.regs)
+        if addr & 3:
+            raise MachineFault(f"misaligned xchg at {addr:#x}", pc=e.pc)
+        port.fence()
+        old = port.atomic_load(addr, 4)
+        e.loads += 1
+        e.load_hash = ((e.load_hash * _FNV_PRIME) + old + 1) & _HASH_MASK
+        port.atomic_store(addr, 4, e.regs[reg])
+        e.stores += 1
+        e.regs[reg] = old & MASK32
+        e.pc += 1
+        e.retired += 1
+        e.cur_memops = 0
+    return fn
+
+
+def _c_cmpxchg(i: Instr) -> DispatchFn:
+    ea = _compile_ea(i.ops[0])
+    reg = i.ops[1].number
+
+    def fn(e, port):
+        addr = ea(e.regs)
+        if addr & 3:
+            raise MachineFault(f"misaligned cmpxchg at {addr:#x}", pc=e.pc)
+        port.fence()
+        old = port.atomic_load(addr, 4)
+        e.loads += 1
+        e.load_hash = ((e.load_hash * _FNV_PRIME) + old + 1) & _HASH_MASK
+        if old == e.regs[RAX]:
+            port.atomic_store(addr, 4, e.regs[reg])
+            e.stores += 1
+            e.zf = 1
+        else:
+            e.regs[RAX] = old
+            e.zf = 0
+        e.pc += 1
+        e.retired += 1
+        e.cur_memops = 0
+    return fn
+
+
+def _c_mfence(i: Instr) -> DispatchFn:
+    def fn(e, port):
+        port.fence()
+        e.pc += 1
+        e.retired += 1
+        e.cur_memops = 0
+    return fn
+
+
+def _c_nop(i: Instr) -> DispatchFn:
+    def fn(e, port):
+        e.pc += 1
+        e.retired += 1
+        e.cur_memops = 0
+    return fn
+
+
+def _c_rep_movs(i: Instr) -> DispatchFn:
+    def fn(e, port):
+        regs = e.regs
+        if regs[RCX] == 0:
+            e.pc += 1
+            e.retired += 1
+            e.cur_memops = 0
+            return
+        src = regs[RSI]
+        if src & 3:
+            raise MachineFault(f"misaligned word load at {src:#x}", pc=e.pc)
+        value = port.load(src, 4)
+        e.loads += 1
+        e.load_hash = ((e.load_hash * _FNV_PRIME) + value + 1) & _HASH_MASK
+        dst = regs[RDI]
+        if dst & 3:
+            raise MachineFault(f"misaligned word store at {dst:#x}", pc=e.pc)
+        port.store(dst, 4, value & MASK32)
+        e.stores += 1
+        regs[RSI] = (src + 4) & MASK32
+        regs[RDI] = (dst + 4) & MASK32
+        regs[RCX] = (regs[RCX] - 1) & MASK32
+        e.cur_memops += 2
+        if regs[RCX] == 0:
+            e.pc += 1
+            e.retired += 1
+            e.cur_memops = 0
+    return fn
+
+
+def _c_rep_stos(i: Instr) -> DispatchFn:
+    def fn(e, port):
+        regs = e.regs
+        if regs[RCX] == 0:
+            e.pc += 1
+            e.retired += 1
+            e.cur_memops = 0
+            return
+        dst = regs[RDI]
+        if dst & 3:
+            raise MachineFault(f"misaligned word store at {dst:#x}", pc=e.pc)
+        port.store(dst, 4, regs[RAX] & MASK32)
+        e.stores += 1
+        regs[RDI] = (dst + 4) & MASK32
+        regs[RCX] = (regs[RCX] - 1) & MASK32
+        e.cur_memops += 1
+        if regs[RCX] == 0:
+            e.pc += 1
+            e.retired += 1
+            e.cur_memops = 0
+    return fn
+
+
+def _c_syscall(i: Instr) -> DispatchFn:
+    def fn(e, port):
+        return _OUTCOME_SYSCALL
+    return fn
+
+
+def _c_nondet(i: Instr) -> DispatchFn:
+    def fn(e, port):
+        return _OUTCOME_NONDET
+    return fn
+
+
+def _c_fallback(i: Instr) -> DispatchFn:
+    """Uncompiled mnemonic: defer to the interpretive handler (safety net
+    for mnemonics added to core without a fast compiler)."""
+    def fn(e, port):
+        from .core import _DISPATCH
+        handler = _DISPATCH.get(i.mnemonic)
+        if handler is None:
+            raise IllegalInstructionError(f"no handler for {i.mnemonic}",
+                                          pc=e.pc)
+        return handler(e, port, i)
+    return fn
+
+
+_COMPILERS: dict[str, Callable[[Instr], DispatchFn]] = {
+    "mov": _c_mov,
+    "lea": _c_lea,
+    "load": _c_load,
+    "loadb": _c_loadb,
+    "store": _c_store,
+    "storeb": _c_storeb,
+    "push": _c_push,
+    "pop": _c_pop,
+    "add": _c_add,
+    "sub": _c_sub,
+    "and": _logic_alu_compiler(lambda a, b: a & b),
+    "or": _logic_alu_compiler(lambda a, b: a | b),
+    "xor": _logic_alu_compiler(lambda a, b: a ^ b),
+    "shl": _logic_alu_compiler(lambda a, b: a << (b & 31)),
+    "shr": _logic_alu_compiler(lambda a, b: a >> (b & 31)),
+    "sar": _logic_alu_compiler(lambda a, b: _signed(a) >> (b & 31)),
+    "mul": _logic_alu_compiler(lambda a, b: a * b),
+    "div": _alu_compiler(_k_div),
+    "mod": _alu_compiler(_k_mod),
+    "neg": _c_neg,
+    "not": _c_not,
+    "cmp": _c_cmp,
+    "test": _c_test,
+    "jmp": _c_jmp,
+    "je": _branch_compiler(lambda e: e.zf == 1),
+    "jne": _branch_compiler(lambda e: e.zf == 0),
+    "jl": _branch_compiler(lambda e: e.sf != e.of),
+    "jge": _branch_compiler(lambda e: e.sf == e.of),
+    "jle": _branch_compiler(lambda e: e.zf == 1 or e.sf != e.of),
+    "jg": _branch_compiler(lambda e: e.zf == 0 and e.sf == e.of),
+    "jb": _branch_compiler(lambda e: e.cf == 1),
+    "jae": _branch_compiler(lambda e: e.cf == 0),
+    "jbe": _branch_compiler(lambda e: e.cf == 1 or e.zf == 1),
+    "ja": _branch_compiler(lambda e: e.cf == 0 and e.zf == 0),
+    "js": _branch_compiler(lambda e: e.sf == 1),
+    "jns": _branch_compiler(lambda e: e.sf == 0),
+    "call": _c_call,
+    "ret": _c_ret,
+    "xadd": _c_xadd,
+    "xchg": _c_xchg,
+    "cmpxchg": _c_cmpxchg,
+    "mfence": _c_mfence,
+    "pause": _c_nop,
+    "nop": _c_nop,
+    "rep_movs": _c_rep_movs,
+    "rep_stos": _c_rep_stos,
+    "rdtsc": _c_nondet,
+    "rdrand": _c_nondet,
+    "cpuid": _c_nondet,
+    "syscall": _c_syscall,
+}
+
+
+def compile_instr(instr: Instr) -> DispatchFn:
+    """Compile one instruction into its dispatch closure."""
+    compiler = _COMPILERS.get(instr.mnemonic, _c_fallback)
+    return compiler(instr)
+
+
+# -- per-program memoization --------------------------------------------------
+
+_COMPILED: dict[int, list[DispatchFn]] = {}
+
+
+def decoded_program(program: Program) -> list[DispatchFn]:
+    """The compiled dispatch table for ``program``, built once per program
+    object (keyed by identity; evicted when the program is collected)."""
+    key = id(program)
+    table = _COMPILED.get(key)
+    if table is None:
+        table = [compile_instr(instr) for instr in program.instructions]
+        _COMPILED[key] = table
+        weakref.finalize(program, _COMPILED.pop, key, None)
+    return table

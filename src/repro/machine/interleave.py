@@ -30,11 +30,22 @@ class RandomInterleaver:
 
     def __init__(self, seed: int = 0):
         self._rng = random.Random(seed)
+        self._getrandbits = self._rng.getrandbits
 
     def choose(self, candidates: Sequence[int]) -> int:
-        if len(candidates) == 1:
+        n = len(candidates)
+        if n == 1:
             return candidates[0]
-        return candidates[self._rng.randrange(len(candidates))]
+        # Inline of Random.randrange(n)'s rejection sampling (CPython's
+        # _randbelow_with_getrandbits): consumes exactly the same random
+        # bits, so recordings stay bit-identical to randrange-based runs,
+        # without randrange's per-call argument processing.
+        getrandbits = self._getrandbits
+        k = n.bit_length()
+        r = getrandbits(k)
+        while r >= n:
+            r = getrandbits(k)
+        return candidates[r]
 
 
 class RoundRobinInterleaver:

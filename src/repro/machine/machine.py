@@ -21,7 +21,7 @@ from ..perf.costmodel import DEFAULT_COST_MODEL, CostModel
 from ..telemetry import NULL_TELEMETRY, Telemetry
 from .bus import SnoopBus
 from .cache import MESICache, MISS as CACHE_MISS, MODIFIED, UPGRADE
-from .core import Engine
+from .core import OUTCOME_OK, Engine
 from .memory import PhysicalMemory
 from .store_buffer import (
     RESOLVE_CONFLICT,
@@ -47,6 +47,9 @@ class Core:
         self.cycles = 0
         # The kernel's bookkeeping slot: the task currently dispatched here.
         self.task = None
+        # Hot-path hoists (all fixed for the machine's lifetime).
+        self._line_mask = ~(machine.config.cache.line_bytes - 1)
+        self._store_drain_cost = machine.cost.store_drain
 
     @property
     def idle(self) -> bool:
@@ -59,26 +62,28 @@ class Core:
 
     def drain_one(self) -> None:
         """Make the oldest buffered store globally visible."""
+        machine = self.machine
         entry = self.store_buffer.pop_oldest()
-        line = self.machine.config.cache.line_of(entry.addr)
+        line = entry.addr & self._line_mask
         classification = self.cache.classify_write(line)
         if classification == CACHE_MISS:
-            self.machine.bus_transaction(self, line, is_write=True)
+            machine.bus_transaction(self, line, is_write=True)
         elif classification == UPGRADE:
-            self.machine.bus_transaction(self, line, is_write=True, upgrade=True)
-        memory = self.machine.memory
+            machine.bus_transaction(self, line, is_write=True, upgrade=True)
+        memory = machine.memory
         if entry.size == 4:
             memory.write_word(entry.addr, entry.value)
         else:
             memory.write_byte(entry.addr, entry.value)
-        self.cycles += self.machine.cost.store_drain
-        if self.machine.telemetry.enabled:
-            self.machine._tm_drains.inc()
+        self.cycles += self._store_drain_cost
+        if machine._tm_enabled:
+            machine._tm_drains.inc()
         if self.recorder is not None:
             self.recorder.on_store_drain(line)
 
     def drain_all(self) -> None:
-        while not self.store_buffer.empty:
+        entries = self.store_buffer._entries
+        while entries:
             self.drain_one()
 
 
@@ -88,61 +93,67 @@ class _RecordPort:
 
     def __init__(self, core: Core):
         self._core = core
+        machine = core.machine
+        self._machine = machine
+        self._memory = machine.memory
+        self._sb = core.store_buffer
+        self._cache = core.cache
+        self._line_mask = ~(machine.config.cache.line_bytes - 1)
+        self._atomic_extra = machine.cost.atomic_extra
 
     def load(self, addr: int, size: int) -> int:
         core = self._core
-        machine = core.machine
-        status, value = core.store_buffer.resolve(addr, size)
-        line = machine.config.cache.line_of(addr)
+        status, value = self._sb.resolve(addr, size)
+        line = addr & self._line_mask
+        recorder = core.recorder
         if status == RESOLVE_HIT:
-            if core.recorder is not None:
-                core.recorder.on_load(line)
+            if recorder is not None:
+                recorder.on_load(line)
             return value  # type: ignore[return-value]
         if status == RESOLVE_CONFLICT:
             core.drain_all()
-        if core.cache.classify_read(line) == CACHE_MISS:
-            machine.bus_transaction(core, line, is_write=False)
-        if core.recorder is not None:
-            core.recorder.on_load(line)
+        if self._cache.classify_read(line) == CACHE_MISS:
+            self._machine.bus_transaction(core, line, is_write=False)
+        if recorder is not None:
+            recorder.on_load(line)
         if size == 4:
-            return machine.memory.read_word(addr)
-        return machine.memory.read_byte(addr)
+            return self._memory.read_word(addr)
+        return self._memory.read_byte(addr)
 
     def store(self, addr: int, size: int, value: int) -> None:
-        core = self._core
-        if core.store_buffer.full:
-            core.drain_one()
-        core.store_buffer.push(addr, size, value)
+        sb = self._sb
+        if sb.full:
+            self._core.drain_one()
+        sb.push(addr, size, value)
 
     def fence(self) -> None:
-        self._core.drain_all()
+        if self._sb._entries:
+            self._core.drain_all()
 
     def atomic_load(self, addr: int, size: int) -> int:
         """First half of a bus-locked RMW: take exclusive ownership, read."""
         core = self._core
-        machine = core.machine
-        line = machine.config.cache.line_of(addr)
-        classification = core.cache.classify_write(line)
+        line = addr & self._line_mask
+        classification = self._cache.classify_write(line)
         if classification == CACHE_MISS:
-            machine.bus_transaction(core, line, is_write=True)
+            self._machine.bus_transaction(core, line, is_write=True)
         elif classification == UPGRADE:
-            machine.bus_transaction(core, line, is_write=True, upgrade=True)
-        core.cycles += machine.cost.atomic_extra
+            self._machine.bus_transaction(core, line, is_write=True, upgrade=True)
+        core.cycles += self._atomic_extra
         if core.recorder is not None:
             core.recorder.on_atomic_read(line)
         if size == 4:
-            return machine.memory.read_word(addr)
-        return machine.memory.read_byte(addr)
+            return self._memory.read_word(addr)
+        return self._memory.read_byte(addr)
 
     def atomic_store(self, addr: int, size: int, value: int) -> None:
         """Second half of a bus-locked RMW: line is already Modified."""
         core = self._core
-        machine = core.machine
-        line = machine.config.cache.line_of(addr)
+        line = addr & self._line_mask
         if size == 4:
-            machine.memory.write_word(addr, value)
+            self._memory.write_word(addr, value)
         else:
-            machine.memory.write_byte(addr, value)
+            self._memory.write_byte(addr, value)
         if core.recorder is not None:
             core.recorder.on_atomic_write(line)
 
@@ -174,6 +185,18 @@ class Machine:
         # transaction: they would issue nested transactions and break the
         # outer one's atomicity (e.g. two Modified copies of a line).
         self.in_bus_transaction = False
+        # Hot-path hoists: read once, fixed for the machine's lifetime. The
+        # telemetry flag in particular keeps the disabled case zero-cost in
+        # step_core/after_unit/drain paths (one attribute read, no
+        # singleton-object chasing).
+        self._tm_enabled = self.telemetry.enabled
+        self._tm_sampling = self.telemetry.sampling
+        self._unit_cost = self.cost.unit
+        self._cost_l1_miss = self.cost.l1_miss
+        self._cost_upgrade = self.cost.upgrade
+        self._cost_writeback = self.cost.writeback
+        self._drain_period = self.config.store_buffer.drain_period
+        self._drain_burst = self.config.store_buffer.drain_burst
         if self.telemetry.enabled:
             metrics = self.telemetry.metrics
             self._tm_bus_reads = metrics.counter("machine.bus_reads")
@@ -211,15 +234,15 @@ class Machine:
             result = self.bus.transaction(core.core_id, line, is_write, upgrade)
         finally:
             self.in_bus_transaction = False
-        core.cycles += self.cost.upgrade if upgrade else self.cost.l1_miss
+        core.cycles += self._cost_upgrade if upgrade else self._cost_l1_miss
         if result.flushed:
-            core.cycles += self.cost.writeback
+            core.cycles += self._cost_writeback
         if core.cache.fill(line, MODIFIED if is_write else result.fill_state):
-            core.cycles += self.cost.writeback
+            core.cycles += self._cost_writeback
         if core.recorder is not None and result.victim_timestamps:
             core.recorder.observe_victims(result.victim_timestamps)
-        telemetry = self.telemetry
-        if telemetry.enabled:
+        if self._tm_enabled:
+            telemetry = self.telemetry
             if upgrade:
                 self._tm_bus_upgrades.inc()
             elif is_write:
@@ -257,7 +280,7 @@ class Machine:
                 self.bus_transaction(core, line, is_write=True, upgrade=True)
             if core.recorder is not None:
                 core.recorder.on_copy_write(line)
-            if self.telemetry.enabled:
+            if self._tm_enabled:
                 self._tm_copy_lines.inc()
         self.memory.write(addr, data)
 
@@ -285,49 +308,101 @@ class Machine:
     # -- stepping ---------------------------------------------------------------
 
     def step_core(self, core_id: int) -> str:
-        """Execute one unit on ``core_id`` and run post-unit housekeeping."""
+        """Execute one unit on ``core_id`` and run post-unit housekeeping.
+
+        The compiled-dispatch indexing from ``Engine.step`` is inlined here
+        (same bounds check, same fault) to drop one call layer from the
+        per-unit path; engines without a decode cache go through
+        ``Engine.step`` unchanged.
+        """
         core = self.cores[core_id]
-        if core.engine is None:
+        engine = core.engine
+        if engine is None:
             raise MachineFault("no program loaded", core_id=core_id)
+        dispatch = engine._dispatch
         try:
-            outcome = core.engine.step(core.port)
+            if dispatch is not None:
+                pc = engine.pc
+                if not 0 <= pc < len(dispatch):
+                    raise MachineFault(f"pc {pc} outside code", pc=pc)
+                outcome = dispatch[pc](engine, core.port)
+                if outcome is None:
+                    outcome = OUTCOME_OK
+            else:
+                outcome = engine.step(core.port)
         except MachineFault as fault:
             fault.core_id = core_id
             raise
-        core.cycles += self.cost.unit
-        self.after_unit(core)
+        core.cycles += self._unit_cost
+        # Inline of after_unit() — one less call on the per-unit path. The
+        # recorder call is further gated on the (rare) fused condition under
+        # which MemoryRaceRecorder.after_unit would do anything at all: size
+        # cap reached or a signature past the saturation threshold. The
+        # callee re-derives which applies, in its documented priority order.
+        step = self.global_step + 1
+        self.global_step = step
+        recorder = core.recorder
+        if (recorder is not None and recorder.rthread is not None
+                and (engine.retired >= recorder._icnt_limit
+                     or (recorder._sat_enabled
+                         and (recorder.read_sig.bits_set
+                              >= recorder._sat_min_bits
+                              or recorder.write_sig.bits_set
+                              >= recorder._sat_min_bits)))):
+            recorder.after_unit()
+        if step % self._drain_period == 0:
+            self._drain_all_cores()
+        if self._tm_enabled and step % self._tm_sampling == 0:
+            self._sample_step_counters()
         return outcome
 
     def after_unit(self, core: Core) -> None:
-        self.global_step += 1
-        if core.recorder is not None:
-            core.recorder.after_unit()
-        self._background_drains()
-        telemetry = self.telemetry
-        if telemetry.enabled and self.global_step % telemetry.sampling == 0:
-            tracer = telemetry.tracer
-            tracer.counter("machine.cycles",
-                           {f"core{c.core_id}": c.cycles for c in self.cores},
-                           cat="machine")
-            tracer.counter("machine.retired",
-                           {f"core{c.core_id}": c.engine.retired
-                            for c in self.cores if c.engine is not None},
-                           cat="machine")
+        """Post-unit housekeeping (kept callable for engines stepped
+        outside :meth:`step_core`; that method inlines this body)."""
+        step = self.global_step + 1
+        self.global_step = step
+        recorder = core.recorder
+        if recorder is not None:
+            recorder.after_unit()
+        if step % self._drain_period == 0:
+            self._drain_all_cores()
+        if self._tm_enabled and step % self._tm_sampling == 0:
+            self._sample_step_counters()
+
+    def _sample_step_counters(self) -> None:
+        tracer = self.telemetry.tracer
+        tracer.counter("machine.cycles",
+                       {f"core{c.core_id}": c.cycles for c in self.cores},
+                       cat="machine")
+        tracer.counter("machine.retired",
+                       {f"core{c.core_id}": c.engine.retired
+                        for c in self.cores if c.engine is not None},
+                       cat="machine")
 
     def idle_tick(self) -> None:
         """Advance time when no core is runnable (tasks blocked/sleeping)."""
         self.global_step += 1
-        self._background_drains()
+        if self.global_step % self._drain_period == 0:
+            self._drain_all_cores()
 
-    def _background_drains(self) -> None:
-        sb_config = self.config.store_buffer
-        if self.global_step % sb_config.drain_period:
-            return
+    def _drain_all_cores(self) -> None:
+        """One background-drain tick: each core drains up to ``drain_burst``
+        buffered stores (the TSO store buffers' passage of time).
+
+        Reads the buffers' entry deque directly: this runs every
+        ``drain_period`` units and the buffers are almost always empty, so
+        the emptiness probe must not cost a property call per core.
+        """
+        burst = self._drain_burst
         for core in self.cores:
-            for _ in range(sb_config.drain_burst):
-                if core.store_buffer.empty:
+            entries = core.store_buffer._entries
+            if not entries:
+                continue
+            drain_one = core.drain_one
+            for _ in range(burst):
+                if not entries:
                     break
-                core.drain_one()
+                drain_one()
 
     # -- introspection --------------------------------------------------------------
 

@@ -20,6 +20,10 @@ RESOLVE_MISS = "miss"
 RESOLVE_HIT = "hit"
 RESOLVE_CONFLICT = "conflict"
 
+# Preallocated results for the allocation-heavy resolve() paths.
+_RESOLVED_MISS = (RESOLVE_MISS, None)
+_RESOLVED_CONFLICT = (RESOLVE_CONFLICT, None)
+
 
 @dataclass(frozen=True)
 class PendingStore:
@@ -82,12 +86,15 @@ class StoreBuffer:
             (``"miss"``, None)     — no overlap, read memory;
             (``"conflict"``, None) — partial overlap, drain then read memory.
         """
-        for entry in reversed(self._entries):
+        entries = self._entries
+        if not entries:
+            return _RESOLVED_MISS
+        for entry in reversed(entries):
             if entry.covers(addr, size):
                 return RESOLVE_HIT, entry.extract(addr, size)
             if entry.overlaps(addr, size):
-                return RESOLVE_CONFLICT, None
-        return RESOLVE_MISS, None
+                return _RESOLVED_CONFLICT
+        return _RESOLVED_MISS
 
     def entries(self) -> tuple[PendingStore, ...]:
         """Snapshot of buffered stores, oldest first (for inspection/tests)."""

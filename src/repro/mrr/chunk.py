@@ -38,9 +38,15 @@ class Reason:
     NAMES = {code: name for code, name in enumerate(ALL)}
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class ChunkEntry:
     """One packed chunk record (the 128-bit hardware log entry).
+
+    Treated as immutable once emitted (slots, no mutation anywhere in the
+    stack); not ``frozen`` because entries are constructed on the conflict
+    hot path and frozen dataclasses pay ``object.__setattr__`` per field —
+    nearly 4x the construction cost for a class created thousands of times
+    per recorded run.
 
     Attributes:
         rthread: replay-sphere thread id the chunk belongs to.

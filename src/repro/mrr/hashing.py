@@ -36,6 +36,9 @@ class H3Hasher:
         ]
         # Hashing is hot (every memory access); memoize per key.
         self._cache: dict[int, tuple[int, ...]] = {}
+        # Per-key filter-word bitmask (OR of one bit per hash function),
+        # so Bloom insert/test collapse to one OR/AND on the filter word.
+        self._mask_cache: dict[int, int] = {}
 
     def indices(self, key: int) -> tuple[int, ...]:
         """The ``num_hashes`` bucket indices for ``key``."""
@@ -56,6 +59,22 @@ class H3Hasher:
         result = tuple(out)
         self._cache[key] = result
         return result
+
+    def mask(self, key: int) -> int:
+        """The ``buckets``-wide bitmask with the key's index bits set.
+
+        This is the signature fast path: ``filter_word | mask`` inserts the
+        key, ``filter_word & mask == mask`` tests it — identical semantics
+        to iterating :meth:`indices`, precomputed once per key.
+        """
+        cached = self._mask_cache.get(key)
+        if cached is not None:
+            return cached
+        mask = 0
+        for index in self.indices(key):
+            mask |= 1 << index
+        self._mask_cache[key] = mask
+        return mask
 
 
 _shared: dict[tuple[int, int, int], H3Hasher] = {}

@@ -48,10 +48,34 @@ class MemoryRaceRecorder:
         self.write_sig = BloomSignature(config.signature_bits, config.signature_hashes)
         self.rthread: int | None = None
         self._icnt_start = 0
+        # retired-count at which the size cap fires; kept in step with
+        # _icnt_start so the machine's per-unit gate is one compare.
+        self._icnt_limit = config.max_chunk_instructions
         # Diagnostics for the evaluation figures.
         self.chunks_logged = 0
         self.conflicts_caused = 0
         self.telemetry = telemetry or NULL_TELEMETRY
+        # Hot-path hoists: telemetry enablement and the termination
+        # thresholds are fixed for the recorder's lifetime, so the per-unit
+        # and per-access paths read plain attributes instead of chasing
+        # config/telemetry objects.
+        self._tm_on = self.telemetry.enabled
+        self._drain_mode = config.tso_mode == TsoMode.DRAIN
+        self._max_chunk = config.max_chunk_instructions
+        self._sat_threshold = config.saturation_threshold
+        self._sat_enabled = config.saturation_threshold < 1.0
+        self._sig_bits = config.signature_bits
+        # Saturation rewritten as an integer popcount threshold: the
+        # smallest bits_set for which ``bits_set / bits >= threshold``,
+        # found by evaluating that exact float predicate once per count —
+        # so the per-unit integer compare decides identically to the float
+        # division it replaces (sentinel bits+1 when unreachable).
+        bits = config.signature_bits
+        threshold = config.saturation_threshold
+        n = 0
+        while n <= bits and n / bits < threshold:
+            n += 1
+        self._sat_min_bits = n
         self._chunk_start_ts = 0
         # Exact line sets shadowing the Bloom signatures, maintained only
         # when telemetry is enabled: a snoop that hits the signature but
@@ -89,12 +113,22 @@ class MemoryRaceRecorder:
         self.write_sig.clear()
 
     def _begin_chunk(self) -> None:
-        self.read_sig.clear()
-        self.write_sig.clear()
+        # Inline of BloomSignature.clear() for both filters: this runs at
+        # every chunk boundary, which conflict-heavy workloads hit every
+        # few units.
+        read_sig = self.read_sig
+        read_sig._word = 0
+        read_sig.bits_set = 0
+        read_sig.inserts = 0
+        write_sig = self.write_sig
+        write_sig._word = 0
+        write_sig.bits_set = 0
+        write_sig.inserts = 0
         engine = self.core.engine
         self._icnt_start = engine.retired
+        self._icnt_limit = engine.retired + self._max_chunk
         engine.load_hash = 0
-        if self.telemetry.enabled:
+        if self._tm_on:
             self._exact_reads.clear()
             self._exact_writes.clear()
             self._chunk_start_ts = self.telemetry.tracer.now()
@@ -104,25 +138,25 @@ class MemoryRaceRecorder:
     def on_load(self, line: int) -> None:
         if self.rthread is not None:
             self.read_sig.insert(line)
-            if self.telemetry.enabled:
+            if self._tm_on:
                 self._exact_reads.add(line)
 
     def on_store_drain(self, line: int) -> None:
         if self.rthread is not None:
             self.write_sig.insert(line)
-            if self.telemetry.enabled:
+            if self._tm_on:
                 self._exact_writes.add(line)
 
     def on_atomic_read(self, line: int) -> None:
         if self.rthread is not None:
             self.read_sig.insert(line)
-            if self.telemetry.enabled:
+            if self._tm_on:
                 self._exact_reads.add(line)
 
     def on_atomic_write(self, line: int) -> None:
         if self.rthread is not None:
             self.write_sig.insert(line)
-            if self.telemetry.enabled:
+            if self._tm_on:
                 self._exact_writes.add(line)
 
     def on_copy_write(self, line: int) -> None:
@@ -130,7 +164,7 @@ class MemoryRaceRecorder:
         data becomes part of the current chunk's write set."""
         if self.rthread is not None:
             self.write_sig.insert(line)
-            if self.telemetry.enabled:
+            if self._tm_on:
                 self._exact_writes.add(line)
 
     def on_copy_read(self, line: int) -> None:
@@ -138,8 +172,27 @@ class MemoryRaceRecorder:
         payloads, path strings); joins the current chunk's read set."""
         if self.rthread is not None:
             self.read_sig.insert(line)
-            if self.telemetry.enabled:
+            if self._tm_on:
                 self._exact_reads.add(line)
+
+    def absorb_signatures(self, read_sig: BloomSignature,
+                          write_sig: BloomSignature) -> None:
+        """Merge stashed signature state into the live filters.
+
+        The RSM's virtualization path stashes a thread's signatures when it
+        is descheduled and folds them back in here on redispatch. Merging is
+        purely additive (strictly more conservative conflict detection), so
+        this can never miss a race. Chunks always terminate on kernel entry
+        before a thread is descheduled, so today the stash is provably empty
+        and the merge is a bit-identical no-op; the hook keeps the chunk
+        protocol honest if that sequencing ever changes. Absorbed lines are
+        Bloom-only (no exact shadow entry), so telemetry may classify a
+        snoop hit on an absorbed line as a false positive.
+        """
+        if self.rthread is None:
+            raise RecordingError("absorb_signatures with no active rthread")
+        self.read_sig.merge(read_sig)
+        self.write_sig.merge(write_sig)
 
     # -- conflict detection ----------------------------------------------------
 
@@ -148,15 +201,19 @@ class MemoryRaceRecorder:
         timestamp on a hit."""
         if self.rthread is None:
             return None
+        # The filter-word guards skip the test() calls entirely when a
+        # signature is empty (always true just after a chunk boundary).
+        write_sig = self.write_sig
         if is_write:
-            if self.write_sig.test(line):
+            if write_sig._word and write_sig.test(line):
                 self._note_snoop_cut(line, self._exact_writes, Reason.WAW)
                 return self.terminate(Reason.WAW)
-            if self.read_sig.test(line):
+            read_sig = self.read_sig
+            if read_sig._word and read_sig.test(line):
                 self._note_snoop_cut(line, self._exact_reads, Reason.WAR)
                 return self.terminate(Reason.WAR)
             return None
-        if self.write_sig.test(line):
+        if write_sig._word and write_sig.test(line):
             self._note_snoop_cut(line, self._exact_writes, Reason.RAW)
             return self.terminate(Reason.RAW)
         return None
@@ -165,7 +222,7 @@ class MemoryRaceRecorder:
                         reason: str) -> None:
         """Telemetry for a signature hit: count it, and classify it as a
         Bloom false positive when the exact shadow set disagrees."""
-        if not self.telemetry.enabled:
+        if not self._tm_on:
             return
         self._tm_snoop_cuts.inc()
         if line not in exact:
@@ -183,16 +240,23 @@ class MemoryRaceRecorder:
     # -- self-initiated terminations -----------------------------------------
 
     def after_unit(self) -> None:
-        """Post-unit checks: chunk size cap and signature saturation."""
+        """Post-unit checks: chunk size cap and signature saturation.
+
+        Runs once per simulated unit, so it reads only hoisted attributes;
+        the saturation check is the precomputed integer popcount threshold
+        ``_sat_min_bits``, which decides identically to the
+        ``bits_set / bits >= threshold`` float comparison it replaces.
+        """
         if self.rthread is None:
             return
-        if self.core.engine.retired - self._icnt_start >= self.config.max_chunk_instructions:
+        if self.core.engine.retired - self._icnt_start >= self._max_chunk:
             self.terminate(Reason.SIZE)
             return
-        threshold = self.config.saturation_threshold
-        if threshold < 1.0 and (self.read_sig.saturation >= threshold
-                                or self.write_sig.saturation >= threshold):
-            self.terminate(Reason.SATURATION)
+        if self._sat_enabled:
+            sat_min = self._sat_min_bits
+            if (self.read_sig.bits_set >= sat_min
+                    or self.write_sig.bits_set >= sat_min):
+                self.terminate(Reason.SATURATION)
 
     # -- termination -----------------------------------------------------------
 
@@ -204,8 +268,7 @@ class MemoryRaceRecorder:
         if self.rthread is None:
             raise RecordingError("terminate with no active rthread")
         machine = self.core.machine
-        if (self.config.tso_mode == TsoMode.DRAIN
-                and not machine.in_bus_transaction):
+        if self._drain_mode and not machine.in_bus_transaction:
             # Ablation A3: stall termination until the store buffer is
             # empty (the drains insert into the *current*, closing chunk).
             # Draining is only legal OUTSIDE a bus transaction: a victim
@@ -219,8 +282,11 @@ class MemoryRaceRecorder:
             self.core.drain_all()
         # Timestamp taken AFTER the drain: chunks the drain terminated
         # elsewhere must be ordered before this one (their reads preceded
-        # this chunk's store visibility).
-        timestamp = machine.next_chunk_timestamp()
+        # this chunk's store visibility). Inline of
+        # machine.next_chunk_timestamp() — terminate is on the conflict
+        # hot path and the counter bump does not merit a call.
+        timestamp = machine._chunk_timestamps + 1
+        machine._chunk_timestamps = timestamp
         engine = self.core.engine
         entry = ChunkEntry(
             rthread=self.rthread,
@@ -231,8 +297,8 @@ class MemoryRaceRecorder:
             reason=reason,
             load_hash=engine.load_hash if self.config.log_load_hash else None,
         )
-        telemetry = self.telemetry
-        if telemetry.enabled:
+        if self._tm_on:
+            telemetry = self.telemetry
             read_pct = 100.0 * self.read_sig.saturation
             write_pct = 100.0 * self.write_sig.saturation
             self._tm_chunks.inc()

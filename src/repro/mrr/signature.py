@@ -25,21 +25,36 @@ class BloomSignature:
         self.inserts = 0
 
     def insert(self, key: int) -> None:
+        mask = self._hasher.mask(key)
         word = self._word
-        for index in self._hasher.indices(key):
-            bit = 1 << index
-            if not word & bit:
-                word |= bit
-                self.bits_set += 1
-        self._word = word
+        merged = word | mask
+        if merged != word:
+            self.bits_set += (merged ^ word).bit_count()
+            self._word = merged
         self.inserts += 1
 
     def test(self, key: int) -> bool:
         word = self._word
-        for index in self._hasher.indices(key):
-            if not word & (1 << index):
-                return False
-        return True
+        if not word:
+            return False
+        mask = self._hasher.mask(key)
+        return word & mask == mask
+
+    def merge(self, other: BloomSignature) -> None:
+        """OR another signature of identical geometry into this one.
+
+        Used by the recorder's virtualization path: when a replay thread is
+        scheduled back onto a core, signature state stashed at undispatch is
+        folded into the live filters. Purely additive — merging can only add
+        members (more conservative conflict detection), never drop them.
+        """
+        if other.bits != self.bits or other.hashes != self.hashes:
+            raise ValueError(
+                f"cannot merge {other.bits}x{other.hashes} signature into "
+                f"{self.bits}x{self.hashes}")
+        self._word |= other._word
+        self.bits_set = self._word.bit_count()
+        self.inserts += other.inserts
 
     def clear(self) -> None:
         self._word = 0

@@ -1,0 +1,232 @@
+"""Simulation-rate benchmark runner with a persistent perf trajectory.
+
+Measures *simulated units per second* — the simulator's own throughput, not
+the modeled cycle counts — for a fixed set of workloads, and appends each
+run to a JSON history file (``BENCH_simrate.json`` by default). Every entry
+carries the recording's determinism digest, so the history doubles as a
+regression tripwire:
+
+- a **digest mismatch** against the previous entry for the same
+  (bench, scale, seed) means the simulation changed behaviour — that is
+  blocking (exit 1);
+- a **rate drop** is reported as a warning only: absolute throughput
+  depends on the host and is never a correctness signal.
+
+Benches fan out across a ``multiprocessing`` pool (one process per
+workload; each run is single-threaded and deterministic, so parallelism
+cannot perturb results). ``--workers 1`` runs everything serially
+in-process, which is what the test suite uses.
+
+Exposed as ``python -m repro bench-all`` and ``benchmarks/runner.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import hashlib
+import json
+import multiprocessing
+import sys
+import time
+from pathlib import Path
+
+SCHEMA = "repro-bench-simrate/v1"
+
+#: Benches run with --quick (CI smoke): the two cheapest microbenchmarks.
+QUICK_WORKLOADS = ("counter", "pingpong")
+
+#: The full set: contended micros plus three SPLASH-2-like kernels.
+FULL_WORKLOADS = QUICK_WORKLOADS + ("locks", "prodcons", "fft", "lu", "radix")
+
+#: Rate drop (new/old) below which a slowdown warning is emitted.
+SLOWDOWN_WARN_RATIO = 0.7
+
+
+def digest_of(outcome) -> str:
+    """Determinism digest of a record run: memory image, chunk log, cycle
+    and unit counts. Bit-identical runs — and only those — share it."""
+    from ..mrr.logfmt import encode_chunks
+
+    h = hashlib.sha256()
+    h.update(outcome.final_memory_digest.encode())
+    h.update(encode_chunks(outcome.recording.chunks))
+    h.update(str(outcome.total_cycles).encode())
+    h.update(str(outcome.units).encode())
+    return h.hexdigest()
+
+
+def run_bench(spec: tuple) -> dict:
+    """Run one bench: ``spec`` is (workload, scale, seed, repeats).
+
+    Records ``repeats`` times and keeps the best wall time (the digest is
+    checked identical across repeats — a varying digest would mean the
+    simulator itself is nondeterministic, which is blocking by definition).
+    """
+    from .. import session, workloads
+
+    name, scale, seed, repeats = spec
+    workload = workloads.REGISTRY[name]
+    program, inputs = workloads.build(name, scale=scale)
+    best_wall = None
+    digest = None
+    outcome = None
+    for _ in range(max(1, repeats)):
+        # Timing excludes collector pauses (a GC pass landing mid-run would
+        # be charged to whichever bench happened to trigger it); garbage is
+        # collected between repeats instead.
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            outcome = session.record(program, seed=seed, input_files=inputs)
+            wall = time.perf_counter() - start
+        finally:
+            gc.enable()
+        run_digest = digest_of(outcome)
+        if digest is None:
+            digest = run_digest
+        elif run_digest != digest:
+            raise RuntimeError(
+                f"bench {name}: nondeterministic digest across repeats "
+                f"({digest[:16]} != {run_digest[:16]})")
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+    return {
+        "bench": f"{workload.category}.{name}",
+        "workload": name,
+        "scale": scale,
+        "seed": seed,
+        "units": outcome.units,
+        "cycles": outcome.total_cycles,
+        "chunks": len(outcome.recording.chunks),
+        "digest": digest,
+        "wall_s": round(best_wall, 6),
+        "rate_units_per_s": round(outcome.units / best_wall, 1),
+    }
+
+
+def run_all(names: tuple[str, ...], scale: int, seed: int, repeats: int,
+            workers: int) -> list[dict]:
+    """Run every bench, fanning across ``workers`` processes (serial
+    in-process when 1). Result order always follows ``names``."""
+    specs = [(name, scale, seed, repeats) for name in names]
+    if workers <= 1:
+        return [run_bench(spec) for spec in specs]
+    with multiprocessing.Pool(processes=min(workers, len(specs))) as pool:
+        return pool.map(run_bench, specs)
+
+
+# -- history file ------------------------------------------------------------
+
+def load_history(path: Path) -> dict:
+    if not path.exists():
+        return {"schema": SCHEMA, "entries": []}
+    history = json.loads(path.read_text())
+    if history.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: schema {history.get('schema')!r}, expected {SCHEMA!r}")
+    return history
+
+
+def compare(previous: dict | None, results: list[dict]) -> tuple[list[str],
+                                                                 list[str]]:
+    """Compare fresh results against the previous history entry.
+
+    Returns (blocking, warnings): digest mismatches on a matching
+    (bench, scale, seed) block; rate drops merely warn.
+    """
+    blocking: list[str] = []
+    warnings: list[str] = []
+    if previous is None:
+        return blocking, warnings
+    prior = {(r["bench"], r["scale"], r["seed"]): r
+             for r in previous["results"]}
+    for result in results:
+        old = prior.get((result["bench"], result["scale"], result["seed"]))
+        if old is None:
+            continue
+        if old["digest"] != result["digest"]:
+            blocking.append(
+                f"{result['bench']}: determinism digest changed "
+                f"({old['digest'][:16]} -> {result['digest'][:16]}) — "
+                "the simulation is no longer bit-identical")
+        ratio = (result["rate_units_per_s"] / old["rate_units_per_s"]
+                 if old["rate_units_per_s"] else 1.0)
+        if ratio < SLOWDOWN_WARN_RATIO:
+            warnings.append(
+                f"{result['bench']}: rate dropped to {ratio:.0%} of the "
+                f"previous run ({old['rate_units_per_s']:,.0f} -> "
+                f"{result['rate_units_per_s']:,.0f} units/s)")
+    return blocking, warnings
+
+
+# -- CLI ---------------------------------------------------------------------
+
+def add_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--quick", action="store_true",
+                        help="run only the quick set "
+                             f"({', '.join(QUICK_WORKLOADS)})")
+    parser.add_argument("--scale", type=int, default=2,
+                        help="problem-size multiplier (default 2)")
+    parser.add_argument("--seed", type=int, default=2,
+                        help="interleaving seed (default 2)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repeats per bench; best wall kept "
+                             "(default 3)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: one per bench, "
+                             "capped at CPU count); 1 = serial in-process")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="history JSON to append to "
+                             "(default: BENCH_simrate.json in the CWD)")
+    parser.add_argument("--label", default=None,
+                        help="free-form label stored with this entry")
+
+
+def run(args: argparse.Namespace) -> int:
+    names = QUICK_WORKLOADS if args.quick else FULL_WORKLOADS
+    workers = args.workers
+    if workers is None:
+        workers = min(len(names), multiprocessing.cpu_count())
+    out_path = Path(args.out) if args.out else Path("BENCH_simrate.json")
+
+    history = load_history(out_path)
+    previous = history["entries"][-1] if history["entries"] else None
+
+    results = run_all(names, scale=args.scale, seed=args.seed,
+                      repeats=args.repeats, workers=workers)
+    blocking, warnings = compare(previous, results)
+
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "label": args.label,
+        "python": sys.version.split()[0],
+        "results": results,
+    }
+    history["entries"].append(entry)
+    out_path.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+
+    width = max(len(r["bench"]) for r in results)
+    for r in results:
+        print(f"{r['bench']:<{width}}  {r['units']:>9} units  "
+              f"{r['wall_s']:>8.3f}s  {r['rate_units_per_s']:>12,.0f} u/s  "
+              f"digest {r['digest'][:16]}")
+    for message in warnings:
+        print(f"warning: {message}", file=sys.stderr)
+    for message in blocking:
+        print(f"BLOCKING: {message}", file=sys.stderr)
+    print(f"history: {out_path} ({len(history['entries'])} entries)")
+    return 1 if blocking else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench-all",
+        description="Simulation-rate benchmarks with a perf trajectory.")
+    add_args(parser)
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,195 @@
+"""Presence-based snoop filtering: MESI invariants and equivalence.
+
+The bus keeps a conservative per-line presence summary (bit ``c`` set means
+core ``c`` *may* hold the line) and, when filtering is on, skips snooping
+cores whose bit is clear. Soundness rests on two invariants pinned here:
+
+- **cache superset**: every core actually caching a line has its presence
+  bit set — through fills, evictions (which do NOT clear bits) and kernel
+  coherent copies;
+- **signature superset**: every line a recorder has inserted into its live
+  signatures has that core's presence bit set, so a filtered transaction
+  can never skip a snoop that would have terminated a chunk.
+
+Plus the end-to-end check: filtering on and off produce bit-identical
+recordings.
+"""
+
+import pytest
+
+from repro import session, workloads
+from repro.config import (
+    CacheConfig,
+    KernelConfig,
+    MachineConfig,
+    MRRConfig,
+    SimConfig,
+    StoreBufferConfig,
+)
+from repro.machine.bus import SnoopBus
+from repro.machine.cache import EXCLUSIVE, MESICache, MODIFIED, SHARED
+from repro.perf.bench import digest_of
+from repro.telemetry import Telemetry
+
+
+def _bus_with_caches(num_cores=3, sets=4, ways=1, filter_snoops=None):
+    bus = SnoopBus(num_cores, filter_snoops=filter_snoops)
+    caches = []
+    for core_id in range(num_cores):
+        cache = MESICache(CacheConfig(sets=sets, ways=ways))
+        bus.attach_cache(core_id, cache)
+        caches.append(cache)
+    return bus, caches
+
+
+def _fill(bus, caches, core_id, line, is_write):
+    result = bus.transaction(core_id, line, is_write)
+    caches[core_id].fill(line, MODIFIED if is_write else result.fill_state)
+    return result
+
+
+class _CountingSnooper:
+    """Records which (line, is_write) snoops reached this core."""
+
+    def __init__(self):
+        self.seen = []
+
+    def snoop(self, line, is_write):
+        self.seen.append((line, is_write))
+        return None
+
+
+# -- presence transitions -----------------------------------------------------
+
+def test_unknown_line_defaults_to_everyone_present():
+    bus, _ = _bus_with_caches(num_cores=3)
+    assert bus.presence_mask(0x100) == 0b111
+
+
+def test_write_narrows_presence_to_the_writer():
+    bus, caches = _bus_with_caches(num_cores=3)
+    _fill(bus, caches, 1, 0x100, is_write=True)
+    assert bus.presence_mask(0x100) == 0b010
+
+
+def test_reads_only_add_bits():
+    bus, caches = _bus_with_caches(num_cores=3)
+    _fill(bus, caches, 1, 0x100, is_write=True)
+    _fill(bus, caches, 0, 0x100, is_write=False)
+    assert bus.presence_mask(0x100) == 0b011
+    _fill(bus, caches, 2, 0x100, is_write=False)
+    assert bus.presence_mask(0x100) == 0b111
+
+
+def test_eviction_keeps_the_presence_bit():
+    # ways=1 so a second line in the same set evicts the first; the evicted
+    # core may still carry the line in a chunk signature, so its bit must
+    # survive (superset, not exact).
+    bus, caches = _bus_with_caches(num_cores=2, sets=4, ways=1)
+    line, alias = 0x100, 0x100 + 4 * 64  # same set index
+    _fill(bus, caches, 0, line, is_write=True)
+    _fill(bus, caches, 0, alias, is_write=True)
+    assert caches[0].state(line) is None  # evicted
+    assert bus.presence_mask(line) == 0b01  # bit still set
+
+
+def test_filter_skips_absent_cores_and_off_snoops_everyone():
+    for filtered in (True, False):
+        bus, caches = _bus_with_caches(num_cores=3, filter_snoops=filtered)
+        snoopers = [_CountingSnooper() for _ in range(3)]
+        for core_id, snooper in enumerate(snoopers):
+            bus.attach_snooper(core_id, snooper)
+        _fill(bus, caches, 1, 0x100, is_write=True)  # presence -> {1}
+        for snooper in snoopers:
+            snooper.seen.clear()
+        _fill(bus, caches, 1, 0x100, is_write=True)
+        assert snoopers[1].seen == []  # requester is never self-snooped
+        expected = [] if filtered else [(0x100, True)]
+        assert snoopers[0].seen == expected
+        assert snoopers[2].seen == expected
+
+
+def test_mesi_conflict_detection_unchanged_by_filtering():
+    """A genuinely-present sharer is always snooped and invalidated."""
+    bus, caches = _bus_with_caches(num_cores=2, filter_snoops=True)
+    _fill(bus, caches, 0, 0x200, is_write=False)
+    _fill(bus, caches, 1, 0x200, is_write=False)
+    assert caches[0].state(0x200) in (SHARED, EXCLUSIVE)
+    _fill(bus, caches, 1, 0x200, is_write=True)
+    assert caches[0].state(0x200) is None  # invalidated despite filtering
+    assert bus.presence_mask(0x200) == 0b10
+
+
+# -- whole-run invariant sweep ------------------------------------------------
+
+def _checked_transaction(errors):
+    original = SnoopBus.transaction
+
+    def transaction(self, requester, line, is_write, upgrade=False):
+        result = original(self, requester, line, is_write, upgrade)
+        for tracked_line, present in self._presence.items():
+            for core_id, cache in enumerate(self._caches):
+                if cache is None:
+                    continue
+                if (cache.state(tracked_line) is not None
+                        and not present >> core_id & 1):
+                    errors.append(
+                        f"core {core_id} caches line {tracked_line:#x} "
+                        "but its presence bit is clear")
+            for core_id, recorder in enumerate(self._snoopers):
+                if recorder is None or recorder.rthread is None:
+                    continue
+                for sig_line in (recorder._exact_reads
+                                 | recorder._exact_writes):
+                    if (sig_line in self._presence
+                            and not self._presence[sig_line]
+                            >> core_id & 1):
+                        errors.append(
+                            f"core {core_id} signature holds line "
+                            f"{sig_line:#x} but its presence bit is clear")
+        return result
+
+    return transaction
+
+
+@pytest.mark.parametrize("workload", ["counter", "pingpong"])
+def test_presence_superset_invariant_throughout_recording(
+        monkeypatch, workload):
+    """During a real recorded run — with a tiny cache forcing constant
+    evictions — the presence summary stays a superset of both the true
+    holder set and every recorder's exact signature contents.
+
+    Telemetry is enabled so the recorders maintain their exact shadow
+    sets, including lines added by kernel coherent copies
+    (``on_copy_read``/``on_copy_write``).
+    """
+    errors = []
+    monkeypatch.setattr(SnoopBus, "transaction", _checked_transaction(errors))
+    config = SimConfig(
+        machine=MachineConfig(
+            num_cores=2,
+            memory_bytes=1 << 18,
+            cache=CacheConfig(sets=4, ways=1),  # evicts almost every fill
+            store_buffer=StoreBufferConfig(entries=4, drain_period=4),
+        ),
+        mrr=MRRConfig(signature_bits=256, cbuf_entries=16,
+                      max_chunk_instructions=512),
+        kernel=KernelConfig(quantum_instructions=200),
+    )
+    program, inputs = workloads.build(workload, scale=1)
+    outcome = session.record(program, seed=5, input_files=inputs,
+                             config=config,
+                             telemetry=Telemetry(enabled=True))
+    assert outcome.units > 0
+    assert errors == []
+
+
+def test_recording_digest_identical_with_filtering_off(monkeypatch):
+    program, inputs = workloads.build("pingpong", scale=1)
+    filtered = session.record(program, seed=4, input_files=inputs)
+    monkeypatch.setattr("repro.machine.bus.SNOOP_FILTER_DEFAULT", False)
+    unfiltered = session.record(program, seed=4, input_files=inputs)
+    assert digest_of(filtered) == digest_of(unfiltered)
+    assert filtered.total_cycles == unfiltered.total_cycles
+    assert (len(filtered.recording.chunks)
+            == len(unfiltered.recording.chunks))

@@ -1,5 +1,6 @@
 import pytest
 
+from repro.mrr.hashing import H3Hasher, shared_hasher
 from repro.mrr.signature import BloomSignature
 
 
@@ -72,3 +73,72 @@ def test_false_positives_possible_but_bounded_when_sparse():
 def test_validation():
     with pytest.raises(ValueError):
         BloomSignature(100, 2)
+
+
+def test_merge_is_union_of_members():
+    a = BloomSignature(256, 2)
+    b = BloomSignature(256, 2)
+    a_lines = list(range(0, 64 * 10, 64))
+    b_lines = list(range(64 * 100, 64 * 112, 64))
+    for line in a_lines:
+        a.insert(line)
+    for line in b_lines:
+        b.insert(line)
+    a.merge(b)
+    for line in a_lines + b_lines:
+        assert a.test(line)
+    assert a.bits_set == a._word.bit_count()
+    assert a.inserts == len(a_lines) + len(b_lines)
+    # merge never mutates the source
+    assert all(b.test(line) for line in b_lines)
+
+
+def test_merge_with_empty_is_identity():
+    sig = BloomSignature(256, 2)
+    sig.insert(64)
+    word_before = sig._word
+    sig.merge(BloomSignature(256, 2))
+    assert sig._word == word_before
+
+
+def test_merge_rejects_mismatched_geometry():
+    sig = BloomSignature(256, 2)
+    with pytest.raises(ValueError):
+        sig.merge(BloomSignature(128, 2))
+    with pytest.raises(ValueError):
+        sig.merge(BloomSignature(256, 3))
+
+
+def test_hasher_mask_matches_indices():
+    hasher = H3Hasher(256, 2)
+    for key in range(0, 64 * 30, 64):
+        expected = 0
+        for index in hasher.indices(key):
+            expected |= 1 << index
+        assert hasher.mask(key) == expected
+        assert hasher.mask(key) == expected  # memoized path agrees
+
+
+def test_mask_fast_path_equals_index_reference():
+    """One-OR insert / one-AND test decide identically to per-index
+    bit twiddling."""
+    sig = BloomSignature(512, 2)
+    hasher = sig._hasher
+    reference_word = 0
+    keys = list(range(0, 64 * 25, 64))
+    for key in keys:
+        sig.insert(key)
+        for index in hasher.indices(key):
+            reference_word |= 1 << index
+    assert sig._word == reference_word
+    for probe in range(0, 64 * 200, 64):
+        expected = all(reference_word >> i & 1
+                       for i in hasher.indices(probe))
+        assert sig.test(probe) == expected
+
+
+def test_shared_hasher_is_memoized_per_geometry():
+    assert shared_hasher(256, 2) is shared_hasher(256, 2)
+    assert shared_hasher(256, 2) is not shared_hasher(128, 2)
+    # Signatures with equal geometry share one hasher (and its caches).
+    assert BloomSignature(256, 2)._hasher is BloomSignature(256, 2)._hasher

@@ -1,0 +1,232 @@
+"""Decode-cache equivalence: compiled dispatch vs the interpretive path.
+
+The decode cache (``repro.machine.decode``) pre-resolves every instruction
+into a closure at program-load time. These tests pin the contract that the
+compiled path is *bit-identical* to the interpretive reference — same
+architectural state after every unit, same faults with the same messages,
+same trap behaviour, and resumability from an :class:`EngineContext` alone,
+including mid-``rep_*``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import session, workloads
+from repro.isa.assembler import assemble
+from repro.isa.operands import Reg
+from repro.machine.core import Engine, OUTCOME_OK, OUTCOME_SYSCALL
+from repro.machine.memory import PhysicalMemory
+from repro.perf.bench import digest_of
+
+from tests.conftest import DirectPort
+
+_MEMORY_BYTES = 1 << 16
+_REGS = ("r1", "r2", "r3", "r4", "r5", "r6")
+_ALU3 = ("add", "sub", "and", "or", "xor", "shl", "shr", "sar", "mul")
+_BRANCHES = ("je", "jne", "jl", "jle", "jg", "jge",
+             "jb", "jbe", "ja", "jae", "js", "jns")
+
+_reg = st.sampled_from(_REGS)
+_imm = st.integers(min_value=0, max_value=0xFFFFFFFF)
+_word_off = st.sampled_from(range(0, 64, 4))
+_byte_off = st.integers(min_value=0, max_value=63)
+
+
+@st.composite
+def _block(draw):
+    """One small instruction block; ``{n}`` placeholders make labels unique
+    once the program template numbers its blocks."""
+    kind = draw(st.sampled_from([
+        "mov_imm", "mov_reg", "alu", "divmod", "negnot", "branch",
+        "load", "store", "bytes", "lea", "stack", "atomic", "rep",
+    ]))
+    rd, ra, rb = draw(_reg), draw(_reg), draw(_reg)
+    if kind == "mov_imm":
+        return [f"mov {rd}, {draw(_imm)}"]
+    if kind == "mov_reg":
+        return [f"mov {rd}, {ra}"]
+    if kind == "alu":
+        return [f"{draw(st.sampled_from(_ALU3))} {rd}, {ra}, {rb}"]
+    if kind == "divmod":
+        # Force the divisor odd so the (deterministic) fault path does not
+        # cut the run short; faults get their own dedicated test below.
+        return [f"or {rb}, {rb}, 1",
+                f"{draw(st.sampled_from(('div', 'mod')))} {rd}, {ra}, {rb}"]
+    if kind == "negnot":
+        return [f"{draw(st.sampled_from(('neg', 'not')))} {rd}, {ra}"]
+    if kind == "branch":
+        flag_op = draw(st.sampled_from(("cmp", "test")))
+        cond = draw(st.sampled_from(_BRANCHES))
+        return [f"{flag_op} {ra}, {rb}", f"{cond} skip_{{n}}",
+                f"mov {rd}, {draw(_imm)}", "skip_{n}:"]
+    if kind == "load":
+        return [f"load {rd}, [buf + {draw(_word_off)}]"]
+    if kind == "store":
+        return [f"store [buf + {draw(_word_off)}], {ra}"]
+    if kind == "bytes":
+        return [f"storeb [buf2 + {draw(_byte_off)}], {ra}",
+                f"loadb {rd}, [buf2 + {draw(_byte_off)}]"]
+    if kind == "lea":
+        return [f"lea {rd}, [buf + {ra}*4 + {draw(_word_off)}]"]
+    if kind == "stack":
+        return [f"push {ra}", f"push {rb}", f"pop {rd}"]
+    if kind == "atomic":
+        atomic = draw(st.sampled_from(("xadd", "xchg", "cmpxchg")))
+        off = draw(_word_off)
+        if atomic == "cmpxchg":
+            return [f"mov rax, {draw(_imm)}", f"cmpxchg [buf + {off}], {ra}"]
+        return [f"{atomic} [buf + {off}], {ra}"]
+    # rep: bounded string copy/fill between the two data regions.
+    count = draw(st.integers(min_value=0, max_value=6))
+    if draw(st.booleans()):
+        return [f"mov rcx, {count}", "mov rsi, buf", "mov rdi, buf2",
+                "rep_movs"]
+    return [f"mov rcx, {count}", f"mov rax, {draw(_imm)}", "mov rdi, buf2",
+            "rep_stos"]
+
+
+@st.composite
+def _programs(draw):
+    blocks = draw(st.lists(_block(), min_size=1, max_size=25))
+    lines = []
+    for n, block in enumerate(blocks):
+        lines.extend(line.format(n=n) for line in block)
+    body = "\n".join(line if line.endswith(":") else "    " + line
+                     for line in lines)
+    source = (".data\nbuf:\n"
+              + "".join(f"    .word {17 * (i + 1)}\n" for i in range(16))
+              + "buf2: .space 64\n"
+              + ".text\nmain:\n" + body + "\n    syscall\n")
+    return assemble(source, name="fuzz")
+
+
+def _make(program, decode_cache):
+    memory = PhysicalMemory(_MEMORY_BYTES)
+    memory.load_blob(program.data_base, program.data)
+    engine = Engine(program, decode_cache=decode_cache)
+    engine.regs[15] = _MEMORY_BYTES - 16
+    return engine, DirectPort(memory)
+
+
+def _state(engine):
+    return (engine.pc, tuple(engine.regs), engine.zf, engine.sf, engine.cf,
+            engine.of, engine.retired, engine.cur_memops, engine.loads,
+            engine.stores, engine.load_hash)
+
+
+def _lockstep(program, max_units=5000):
+    """Step both paths side by side, asserting identical state per unit.
+
+    Returns the (compiled, interpretive) engine/port pairs at the stop
+    point for follow-on assertions.
+    """
+    fast, fast_port = _make(program, decode_cache=True)
+    slow, slow_port = _make(program, decode_cache=False)
+    for _ in range(max_units):
+        fast_exc = slow_exc = fast_out = slow_out = None
+        try:
+            fast_out = fast.step(fast_port)
+        except Exception as exc:  # noqa: BLE001 — fault identity is the point
+            fast_exc = exc
+        try:
+            slow_out = slow.step(slow_port)
+        except Exception as exc:  # noqa: BLE001
+            slow_exc = exc
+        assert type(fast_exc) is type(slow_exc), (fast_exc, slow_exc)
+        if fast_exc is not None:
+            assert str(fast_exc) == str(slow_exc)
+            break
+        assert fast_out == slow_out
+        assert _state(fast) == _state(slow)
+        if fast_out != OUTCOME_OK:
+            break
+    else:
+        raise AssertionError("program did not stop within the unit budget")
+    assert (fast_port.memory.read(0, _MEMORY_BYTES)
+            == slow_port.memory.read(0, _MEMORY_BYTES))
+    return (fast, fast_port), (slow, slow_port)
+
+
+@given(program=_programs())
+@settings(max_examples=50, deadline=None)
+def test_compiled_and_interpretive_paths_agree(program):
+    _lockstep(program)
+
+
+def test_fault_messages_identical_across_paths():
+    for body in ("    mov r1, 5\n    mov r2, 0\n    div r3, r1, r2\n",
+                 "    lea r1, [buf + 2]\n    load r2, [r1]\n",
+                 "    lea r1, [buf + 3]\n    store [r1], r2\n",
+                 "    lea r1, [buf + 1]\n    xadd [r1], r2\n"):
+        source = (".data\nbuf: .word 1\n.text\nmain:\n"
+                  + body + "    syscall\n")
+        _lockstep(assemble(source, name="faulty"))
+
+
+def test_trap_leaves_state_untouched_and_complete_trap_agrees():
+    source = (".data\nv: .word 9\n.text\nmain:\n"
+              "    mov r1, 3\n    rdtsc r4\n    add r2, r1, r1\n"
+              "    load r3, [v]\n    syscall\n")
+    program = assemble(source, name="trap")
+    fast, fast_port = _make(program, decode_cache=True)
+    slow, slow_port = _make(program, decode_cache=False)
+    for engine, port in ((fast, fast_port), (slow, slow_port)):
+        assert engine.step(port) == OUTCOME_OK
+        outcome = engine.step(port)
+        assert outcome == "nondet"
+        # The trap retires nothing: pc still points at the rdtsc.
+        assert engine.pc == 1
+        assert engine.retired == 1
+        engine.complete_trap(Reg(4), 0xDEAD)
+    assert _state(fast) == _state(slow)
+    while fast.step(fast_port) == OUTCOME_OK:
+        pass
+    while slow.step(slow_port) == OUTCOME_OK:
+        pass
+    assert _state(fast) == _state(slow)
+    assert fast.regs[4] == 0xDEAD
+
+
+def test_mid_rep_context_roundtrip_resumes_identically():
+    source = (".data\nsrc:\n"
+              + "".join(f"    .word {100 + i}\n" for i in range(8))
+              + "dst: .space 32\n"
+              ".text\nmain:\n"
+              "    mov rcx, 8\n    mov rsi, src\n    mov rdi, dst\n"
+              "    rep_movs\n    syscall\n")
+    program = assemble(source, name="midrep")
+    reference, ref_port = _make(program, decode_cache=False)
+    while reference.step(ref_port) == OUTCOME_OK:
+        pass
+
+    fast, fast_port = _make(program, decode_cache=True)
+    for _ in range(6):  # 3 movs + 3 rep iterations: parked mid-instruction
+        assert fast.step(fast_port) == OUTCOME_OK
+    assert fast.cur_memops == 6  # one load + one store per iteration
+    context = fast.save_context()
+
+    # A fresh engine resumes the string instruction from architectural
+    # state alone — the QuickRec resumability requirement.
+    resumed = Engine(program, decode_cache=True)
+    resumed.restore_context(context)
+    assert resumed.cur_memops == 6
+    while resumed.step(fast_port) == OUTCOME_OK:
+        pass
+    assert resumed.pc == reference.pc
+    assert resumed.regs == reference.regs
+    assert (resumed.zf, resumed.sf, resumed.cf, resumed.of) == (
+        reference.zf, reference.sf, reference.cf, reference.of)
+    assert (fast_port.memory.read(0, _MEMORY_BYTES)
+            == ref_port.memory.read(0, _MEMORY_BYTES))
+
+
+def test_full_session_digest_identical_without_decode_cache(monkeypatch):
+    """End to end: a recorded run with the interpretive debug path produces
+    the same determinism digest as the compiled default."""
+    program, inputs = workloads.build("counter", scale=1)
+    compiled = session.record(program, seed=3, input_files=inputs)
+    monkeypatch.setattr("repro.machine.core.DECODE_CACHE_DEFAULT", False)
+    interpreted = session.record(program, seed=3, input_files=inputs)
+    assert digest_of(compiled) == digest_of(interpreted)
+    assert compiled.total_cycles == interpreted.total_cycles
+    assert compiled.units == interpreted.units
