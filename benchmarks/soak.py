@@ -1,0 +1,23 @@
+#!/usr/bin/env python
+"""Thin wrapper around ``quickrec fuzz`` for soak campaigns.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/soak.py --count 200 --jobs 4 --matrix
+
+Equivalent to ``python -m repro fuzz``; see that command's ``--help`` for
+the flag reference (``--shrink``, ``--artifacts``, ``--inject``, ...).
+The CI ``soak-smoke`` job runs the same campaign bounded to 40 seeds.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(["fuzz", *sys.argv[1:]]))

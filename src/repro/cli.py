@@ -233,13 +233,63 @@ def _cmd_debug(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_fuzz(args: argparse.Namespace) -> int:
-    from .workloads.fuzz import fuzz_many
+def _indent(text: str, prefix: str = "    ") -> str:
+    return "\n".join(prefix + line for line in text.splitlines())
 
-    report = fuzz_many(args.count, base_seed=args.base_seed)
-    print(f"fuzz: {report.verified}/{report.runs} runs verified")
-    for seed, detail in report.failures:
-        print(f"  seed {seed}: {detail}")
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .soak import (
+        SoakOptions,
+        repro_command,
+        rerun_artifact,
+        run_campaign,
+        write_artifact,
+    )
+    from .telemetry import Telemetry
+
+    if args.from_artifact:
+        failures, which = rerun_artifact(args.from_artifact)
+        if not failures:
+            print(f"{which} case no longer fails")
+            return 0
+        print(f"{which} case still fails ({len(failures)} checks):")
+        for failure in failures:
+            print("  " + failure.headline())
+        return 1
+
+    if args.inject and not args.matrix:
+        print("error: --inject needs --matrix (the perturbed variant only "
+              "runs there)", file=sys.stderr)
+        return EXIT_USAGE
+
+    options = SoakOptions(matrix=args.matrix, shrink=args.shrink,
+                          inject=args.inject,
+                          max_shrink_evals=args.max_shrink_evals)
+    telemetry = Telemetry(enabled=True) if args.trace else None
+    report = run_campaign(args.count, base_seed=args.base_seed,
+                          jobs=args.jobs, options=options,
+                          telemetry=telemetry)
+
+    mode = "matrix differential" if args.matrix else "record/replay/verify"
+    print(f"fuzz ({mode}, jobs={args.jobs}): "
+          f"{report.verified}/{report.runs} seeds verified")
+    for verdict in report.failing:
+        print(f"\nseed {verdict.seed}: {len(verdict.failures)} failed "
+              "check(s)")
+        for failure in verdict.failures:
+            print(f"  [{failure.kind}] variant {failure.variant}:")
+            print(_indent(failure.detail))
+        if verdict.shrunk is not None:
+            shrunk = verdict.shrunk
+            print(f"  shrunk: {shrunk.ops_before} -> {shrunk.ops_after} ops "
+                  f"in {shrunk.evals} evaluations")
+        print(f"  repro: {repro_command(verdict.seed, options)}")
+        if args.artifacts:
+            path = write_artifact(args.artifacts, verdict, options)
+            print(f"  triage artifact: {path}")
+    if args.trace:
+        telemetry.tracer.save(args.trace)
+        print(f"trace written to {args.trace}")
     return 0 if report.ok else 1
 
 
@@ -321,9 +371,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_debug.set_defaults(fn=_cmd_debug)
 
     p_fuzz = sub.add_parser(
-        "fuzz", help="soak test: random racy programs, record/replay/verify")
+        "fuzz", help="differential soak: random racy programs across a "
+                     "config lattice, with failure shrinking")
     p_fuzz.add_argument("--count", type=int, default=20)
     p_fuzz.add_argument("--base-seed", type=int, default=0)
+    p_fuzz.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default 1 = in-process); "
+                             "verdicts are identical at any job count")
+    p_fuzz.add_argument("--matrix", action="store_true",
+                        help="run each seed across the implementation-"
+                             "variant lattice and fail on any divergence")
+    p_fuzz.add_argument("--shrink", action="store_true",
+                        help="delta-debug failing seeds to minimal "
+                             "reproducers")
+    p_fuzz.add_argument("--max-shrink-evals", type=int, default=200,
+                        help="evaluation budget per shrink (default 200)")
+    p_fuzz.add_argument("--artifacts", default=None, metavar="DIR",
+                        help="write a triage artifact per failing seed")
+    p_fuzz.add_argument("--from-artifact", default=None, metavar="PATH",
+                        help="re-run a triage artifact's (minimized) case "
+                             "instead of a campaign")
+    p_fuzz.add_argument("--inject", default=None,
+                        choices=("decode-cache", "snoop-filter"),
+                        help="fault-inject one variant (harness self-test; "
+                             "needs --matrix)")
+    p_fuzz.add_argument("--trace", default=None, metavar="PATH",
+                        help="write a Chrome trace of the campaign")
     p_fuzz.set_defaults(fn=_cmd_fuzz)
 
     p_bench = sub.add_parser(

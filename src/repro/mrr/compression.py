@@ -86,10 +86,16 @@ def decompress_chunks(blob: bytes) -> list[ChunkEntry]:
     (timestamp, rthread) order."""
     if blob[:4] != _MAGIC:
         raise LogFormatError("bad compressed chunk log magic")
+    if len(blob) < 5:
+        raise LogFormatError("truncated compressed chunk log: missing flags")
     flags = blob[4]
     payload = blob[5:]
     if flags & 1:
-        payload = zlib.decompress(payload)
+        try:
+            payload = zlib.decompress(payload)
+        except zlib.error as exc:
+            raise LogFormatError(
+                f"corrupt compressed chunk log payload: {exc}") from exc
 
     entries: list[ChunkEntry] = []
     offset = 0

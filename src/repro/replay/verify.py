@@ -54,9 +54,15 @@ def verify_replay(recorded_digest: str, recorded_outputs: dict[str, bytes],
         if want != got:
             output_match = False
             prefix = _common_prefix(want, got)
+            if prefix < min(len(want), len(got)):
+                where = f"content differs at offset {prefix}"
+            elif len(got) < len(want):
+                # Every compared byte matched; the replay just stopped short.
+                where = f"replay output truncated at length {prefix}"
+            else:
+                where = f"replay output extended at length {prefix}"
             mismatches.append(
-                f"output {name!r}: {len(want)} vs {len(got)} bytes, "
-                f"first difference at offset {prefix}")
+                f"output {name!r}: {len(want)} vs {len(got)} bytes, {where}")
 
     exit_code_match = recorded_exit_codes == replay.exit_codes
     if not exit_code_match:

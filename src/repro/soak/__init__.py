@@ -1,0 +1,54 @@
+"""Differential soak testing: the correctness campaign behind every
+"bit-identical" claim.
+
+The paper's guarantee is that the logs capture *all* nondeterminism; this
+subsystem turns that into a continuously-testable property. A campaign
+fans random racy programs (:mod:`repro.workloads.fuzz`) across worker
+processes, runs each seed through a lattice of implementation variants
+(decode cache, snoop filter, compression, telemetry, store-buffer and
+scheduler shapes), and fails on any divergence between variants that must
+agree bit-for-bit — then delta-debugs failing seeds down to minimal
+reproducers and writes triage artifacts.
+
+See ``docs/TESTING.md`` for the campaign semantics and the lattice.
+"""
+
+from .campaign import (
+    CampaignReport,
+    SeedVerdict,
+    SoakOptions,
+    run_campaign,
+    run_case,
+    run_seed,
+)
+from .differential import INJECTABLE, SeedFailure, outcome_digest
+from .shrink import ShrinkResult, ddmin, shrink_case
+from .triage import (
+    load_artifact,
+    repro_command,
+    rerun_artifact,
+    write_artifact,
+)
+from .variants import BASELINE, Variant, matrix_variants
+
+__all__ = [
+    "BASELINE",
+    "CampaignReport",
+    "INJECTABLE",
+    "SeedFailure",
+    "SeedVerdict",
+    "ShrinkResult",
+    "SoakOptions",
+    "Variant",
+    "ddmin",
+    "load_artifact",
+    "matrix_variants",
+    "outcome_digest",
+    "repro_command",
+    "rerun_artifact",
+    "run_campaign",
+    "run_case",
+    "run_seed",
+    "shrink_case",
+    "write_artifact",
+]

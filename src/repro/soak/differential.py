@@ -1,0 +1,208 @@
+"""Per-seed differential checking: one case, many variants, one verdict.
+
+For each :class:`~repro.workloads.fuzz.FuzzCase` this module runs the
+baseline plus (with the matrix on) every lattice variant, and collects
+:class:`SeedFailure` records for:
+
+- ``exception``  — a run raised instead of completing;
+- ``verify``     — record → replay → verify diverged for some variant;
+- ``divergence`` — a bit-identical variant's outcome fingerprint differs
+  from the baseline's (the differential oracle proper);
+- ``roundtrip``  — a recording failed to survive ``Recording`` save/load
+  or ``compress_chunks``/``decompress_chunks``.
+
+Fault injection (``inject=``) perturbs the op list of one variant's
+program, simulating a miscompiled decode closure or a snoop filter that
+drops a conflict: the end-to-end self-test that the oracle, the shrinker
+and the triage pipeline actually catch real divergences.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import tempfile
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+
+from .. import session
+from ..capo.input_log import encode_events
+from ..capo.recording import CHUNKS_COMPRESSED_NAME, CHUNKS_NAME, Recording
+from ..errors import ReproError
+from ..machine import bus as _bus
+from ..machine import core as _core
+from ..mrr.compression import compress_chunks, decompress_chunks
+from ..mrr.logfmt import encode_chunks
+from ..workloads.fuzz import FuzzCase, build_program
+from .variants import BASELINE, Variant, matrix_variants
+
+#: Faults the campaign can inject (``quickrec fuzz --inject``), mapping to
+#: the variant whose program gets perturbed.
+INJECTABLE = ("decode-cache", "snoop-filter")
+_INJECT_TARGET = {
+    "decode-cache": "decode-off",
+    "snoop-filter": "snoop-filter-off",
+}
+
+
+@dataclass
+class SeedFailure:
+    """One failed check for one seed."""
+
+    kind: str
+    variant: str
+    detail: str
+
+    def headline(self) -> str:
+        first = self.detail.splitlines()[0] if self.detail else ""
+        return f"[{self.kind}] variant {self.variant}: {first}"
+
+
+def outcome_fingerprint(outcome) -> dict[str, str]:
+    """Every observable of a recorded run, hashed per component so a
+    divergence report can say *what* disagreed, not just that something
+    did."""
+    recording = outcome.recording
+    outputs = hashlib.sha256()
+    for name in sorted(outcome.outputs):
+        outputs.update(name.encode())
+        outputs.update(b"\x00")
+        outputs.update(outcome.outputs[name])
+        outputs.update(b"\x00")
+    return {
+        "memory": outcome.final_memory_digest,
+        "chunk_log": hashlib.sha256(
+            encode_chunks(recording.chunks)).hexdigest(),
+        "input_log": hashlib.sha256(
+            encode_events(recording.events)).hexdigest(),
+        "outputs": outputs.hexdigest(),
+        "exit_codes": repr(sorted(outcome.exit_codes.items())),
+        "cycles": str(outcome.total_cycles),
+        "units": str(outcome.units),
+    }
+
+
+def outcome_digest(outcome) -> str:
+    """One hash over the full fingerprint: equal iff bit-identical."""
+    fingerprint = outcome_fingerprint(outcome)
+    h = hashlib.sha256()
+    for key in sorted(fingerprint):
+        h.update(key.encode())
+        h.update(b"\x00")
+        h.update(fingerprint[key].encode())
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def _injected_ops(case: FuzzCase) -> list[list[tuple]]:
+    """The case's ops with a one-instruction perturbation on thread 0 —
+    the accumulator lands in ``results``, so the final memory image (and
+    with it the digest) is guaranteed to diverge."""
+    return [[*case.threads_ops[0], ("alu", "add", 1)], *case.threads_ops[1:]]
+
+
+def run_variant(case: FuzzCase, variant: Variant, inject: str | None = None):
+    """Record, replay and verify ``case`` under ``variant``.
+
+    Returns ``(outcome, verification_report)``; exceptions propagate to
+    the caller, which records them as ``exception`` failures.
+    """
+    ops = case.threads_ops
+    if inject is not None and _INJECT_TARGET.get(inject) == variant.name:
+        ops = _injected_ops(case)
+    program = build_program(ops, repeats=case.repeats)
+    config = variant.apply(case.config)
+    saved = (_core.DECODE_CACHE_DEFAULT, _bus.SNOOP_FILTER_DEFAULT)
+    _core.DECODE_CACHE_DEFAULT = variant.decode_cache
+    _bus.SNOOP_FILTER_DEFAULT = variant.snoop_filter
+    try:
+        outcome, _replayed, report = session.record_and_replay(
+            program, seed=case.run_seed, policy=case.policy, config=config)
+    finally:
+        _core.DECODE_CACHE_DEFAULT, _bus.SNOOP_FILTER_DEFAULT = saved
+    return outcome, report
+
+
+def _roundtrip_failures(recording: Recording,
+                        variant_name: str) -> list[SeedFailure]:
+    """Log-format durability: the recording must survive both compression
+    flavours and a full save/load — including the compressed-only load
+    path a bundle with no raw chunk log takes."""
+    failures: list[SeedFailure] = []
+    chunks_sorted = sorted(recording.chunks, key=lambda c: c.sort_key)
+
+    for use_zlib in (True, False):
+        label = f"compress_chunks(use_zlib={use_zlib})"
+        try:
+            back = decompress_chunks(
+                compress_chunks(recording.chunks, use_zlib=use_zlib))
+        except ReproError as exc:
+            failures.append(SeedFailure(
+                "roundtrip", variant_name, f"{label}: {exc}"))
+            continue
+        if back != chunks_sorted:
+            failures.append(SeedFailure(
+                "roundtrip", variant_name,
+                f"{label}: entries changed across the round trip"))
+
+    try:
+        with tempfile.TemporaryDirectory(prefix="qr-soak-") as tmp:
+            recording.save(tmp)
+            loaded = Recording.load(tmp)
+            checks = (
+                ("chunks", loaded.chunks == recording.chunks),
+                ("events", loaded.events == recording.events),
+                ("config",
+                 loaded.config.to_dict() == recording.config.to_dict()),
+                ("metadata", loaded.metadata == recording.metadata),
+            )
+            for what, equal in checks:
+                if not equal:
+                    failures.append(SeedFailure(
+                        "roundtrip", variant_name,
+                        f"save/load: {what} changed across the round trip"))
+            if (Path(tmp) / CHUNKS_COMPRESSED_NAME).exists():
+                (Path(tmp) / CHUNKS_NAME).unlink()
+                reloaded = Recording.load(tmp)
+                if reloaded.chunks != chunks_sorted:
+                    failures.append(SeedFailure(
+                        "roundtrip", variant_name,
+                        "save/load via compressed chunk log: entries "
+                        "changed across the round trip"))
+    except ReproError as exc:
+        failures.append(SeedFailure(
+            "roundtrip", variant_name, f"save/load: {exc}"))
+    return failures
+
+
+def run_case_checks(case: FuzzCase, matrix: bool = False,
+                    inject: str | None = None) -> list[SeedFailure]:
+    """All differential checks for one case; empty list means the seed
+    passed."""
+    failures: list[SeedFailure] = []
+    variants = (BASELINE, *matrix_variants()) if matrix else (BASELINE,)
+    base_fingerprint: dict[str, str] | None = None
+    for variant in variants:
+        try:
+            outcome, report = run_variant(case, variant, inject=inject)
+        except Exception as exc:  # noqa: BLE001 - the campaign reports
+            failures.append(SeedFailure(
+                "exception", variant.name,
+                f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"))
+            continue
+        if not report.ok:
+            failures.append(SeedFailure(
+                "verify", variant.name, report.summary()))
+        fingerprint = outcome_fingerprint(outcome)
+        if variant is BASELINE:
+            base_fingerprint = fingerprint
+        elif variant.bit_identical and base_fingerprint is not None:
+            differing = sorted(key for key in fingerprint
+                               if fingerprint[key] != base_fingerprint[key])
+            if differing:
+                failures.append(SeedFailure(
+                    "divergence", variant.name,
+                    "not bit-identical to baseline; differing components: "
+                    + ", ".join(differing)))
+        failures.extend(_roundtrip_failures(outcome.recording, variant.name))
+    return failures

@@ -1,0 +1,189 @@
+"""Delta-debugging minimizer for failing fuzz cases.
+
+Given a failing :class:`~repro.workloads.fuzz.FuzzCase` and a predicate
+("does this case still fail?"), the shrinker reduces, in order:
+
+1. whole threads (always keeping at least one),
+2. each surviving thread's op list, via classic ddmin,
+3. the loop ``repeats`` count down to 1,
+4. config knobs (cores, store-buffer shape, quantum, policy, run seed)
+   toward their simplest values,
+
+and finishes with a second ddmin pass, since a simpler config often
+unlocks further op removal. Every candidate evaluation is a full
+differential run, so the work is bounded by ``max_evals``; results are
+memoized, and the best (last failing) case is returned even when the
+budget runs out.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+from ..config import KernelConfig, StoreBufferConfig
+from ..workloads.fuzz import FuzzCase
+
+
+class _BudgetExhausted(Exception):
+    """Internal: the evaluation budget ran out mid-reduction."""
+
+
+class _Evaluator:
+    """Memoizing, budgeted wrapper around the failure predicate."""
+
+    def __init__(self, fails: Callable[[FuzzCase], bool], max_evals: int):
+        self._fails = fails
+        self._budget = max_evals
+        self._cache: dict[str, bool] = {}
+        self.evals = 0
+
+    @staticmethod
+    def _key(case: FuzzCase) -> str:
+        return json.dumps([case.threads_ops, case.repeats,
+                           case.config.to_dict(), case.run_seed,
+                           case.policy], sort_keys=True)
+
+    def __call__(self, case: FuzzCase) -> bool:
+        key = self._key(case)
+        if key in self._cache:
+            return self._cache[key]
+        if self.evals >= self._budget:
+            raise _BudgetExhausted
+        self.evals += 1
+        result = bool(self._fails(case))
+        self._cache[key] = result
+        return result
+
+
+def _split(items: Sequence, pieces: int) -> list[list]:
+    """``items`` in ``pieces`` contiguous, non-empty chunks."""
+    pieces = min(pieces, len(items))
+    size, extra = divmod(len(items), pieces)
+    out, start = [], 0
+    for index in range(pieces):
+        end = start + size + (1 if index < extra else 0)
+        out.append(list(items[start:end]))
+        start = end
+    return out
+
+
+def ddmin(items: list, fails: Callable[[list], bool]) -> list:
+    """Classic ddmin: the smallest sublist of ``items`` (under chunk
+    removal) for which ``fails`` still holds. ``items`` must fail."""
+    if fails([]):
+        return []
+    granularity = 2
+    while len(items) >= 2:
+        chunks = _split(items, granularity)
+        for index in range(len(chunks)):
+            candidate = [op for chunk_index, chunk in enumerate(chunks)
+                         if chunk_index != index for op in chunk]
+            if fails(candidate):
+                items = candidate
+                granularity = max(2, granularity - 1)
+                break
+        else:
+            if granularity >= len(items):
+                break
+            granularity = min(len(items), granularity * 2)
+    return items
+
+
+@dataclass
+class ShrinkResult:
+    """A minimized failing case, plus how much work it took."""
+
+    case: FuzzCase
+    ops_before: int
+    ops_after: int
+    evals: int
+    exhausted: bool = False
+
+
+def _shrink_threads(case: FuzzCase, fails) -> FuzzCase:
+    index = 0
+    while len(case.threads_ops) > 1 and index < len(case.threads_ops):
+        candidate = replace(case, threads_ops=[
+            ops for tid, ops in enumerate(case.threads_ops) if tid != index])
+        if fails(candidate):
+            case = candidate
+        else:
+            index += 1
+    return case
+
+
+def _shrink_ops(case: FuzzCase, fails) -> FuzzCase:
+    for index in range(len(case.threads_ops)):
+        def fails_with(ops: list, _index=index) -> bool:
+            threads_ops = list(case.threads_ops)
+            threads_ops[_index] = ops
+            return fails(replace(case, threads_ops=threads_ops))
+
+        minimized = ddmin(list(case.threads_ops[index]), fails_with)
+        threads_ops = list(case.threads_ops)
+        threads_ops[index] = minimized
+        case = replace(case, threads_ops=threads_ops)
+    return case
+
+
+def _shrink_config(case: FuzzCase, fails) -> FuzzCase:
+    """Try each knob's simplest value, keeping whatever still fails."""
+    if case.repeats > 1:
+        candidate = replace(case, repeats=1)
+        if fails(candidate):
+            case = candidate
+    machine = case.config.machine
+    for cores in (1, 2):
+        if cores < machine.num_cores:
+            config = dataclasses.replace(
+                case.config,
+                machine=dataclasses.replace(machine, num_cores=cores))
+            candidate = replace(case, config=config)
+            if fails(candidate):
+                case = candidate
+                break
+    simple_sb = StoreBufferConfig(entries=1, drain_period=1)
+    if case.config.machine.store_buffer != simple_sb:
+        config = dataclasses.replace(
+            case.config, machine=dataclasses.replace(
+                case.config.machine, store_buffer=simple_sb))
+        candidate = replace(case, config=config)
+        if fails(candidate):
+            case = candidate
+    simple_kernel = KernelConfig(quantum_instructions=100)
+    if case.config.kernel != simple_kernel:
+        config = dataclasses.replace(case.config, kernel=simple_kernel)
+        candidate = replace(case, config=config)
+        if fails(candidate):
+            case = candidate
+    if case.policy != "rr":
+        candidate = replace(case, policy="rr")
+        if fails(candidate):
+            case = candidate
+    if case.run_seed != 0:
+        candidate = replace(case, run_seed=0)
+        if fails(candidate):
+            case = candidate
+    return case
+
+
+def shrink_case(case: FuzzCase, fails: Callable[[FuzzCase], bool],
+                max_evals: int = 200) -> ShrinkResult:
+    """Minimize a failing ``case``; ``fails`` must hold for it."""
+    evaluator = _Evaluator(fails, max_evals)
+    ops_before = case.op_count()
+    best = case
+    exhausted = False
+    try:
+        best = _shrink_threads(best, evaluator)
+        best = _shrink_ops(best, evaluator)
+        best = _shrink_config(best, evaluator)
+        best = _shrink_ops(best, evaluator)
+    except _BudgetExhausted:
+        exhausted = True
+    return ShrinkResult(case=best, ops_before=ops_before,
+                        ops_after=best.op_count(), evals=evaluator.evals,
+                        exhausted=exhausted)

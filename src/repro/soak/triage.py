@@ -1,0 +1,124 @@
+"""Triage artifacts: a failing seed, packaged for a human.
+
+One JSON file per failing seed, carrying the divergence report, the
+original and minimized cases (ops, config, scheduler inputs) and a
+copy-pasteable repro command. Artifacts re-run locally with::
+
+    quickrec fuzz --from-artifact soak-artifacts/seed-123.json
+
+which replays the *minimized* case (falling back to the original when the
+campaign ran without ``--shrink``) through the same differential checks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..config import SimConfig
+from ..errors import LogFormatError
+from ..workloads.fuzz import FuzzCase
+from .campaign import SeedVerdict, SoakOptions, run_case
+from .differential import SeedFailure
+
+FORMAT = "quickrec-soak-triage"
+VERSION = 1
+
+
+def repro_command(seed: int, options: SoakOptions) -> str:
+    """The one-liner that reproduces the failure from its seed."""
+    parts = [f"quickrec fuzz --count 1 --base-seed {seed} --jobs 1"]
+    if options.matrix:
+        parts.append("--matrix")
+    if options.shrink:
+        parts.append("--shrink")
+    if options.inject is not None:
+        parts.append(f"--inject {options.inject}")
+    return " ".join(parts)
+
+
+def _case_to_dict(case: FuzzCase) -> dict[str, Any]:
+    return {
+        "seed": case.seed,
+        "threads_ops": [[list(op) for op in ops]
+                        for ops in case.threads_ops],
+        "repeats": case.repeats,
+        "config": case.config.to_dict(),
+        "run_seed": case.run_seed,
+        "policy": case.policy,
+    }
+
+
+def _case_from_dict(data: dict[str, Any]) -> FuzzCase:
+    return FuzzCase(
+        seed=data["seed"],
+        threads_ops=[[tuple(op) for op in ops]
+                     for ops in data["threads_ops"]],
+        repeats=data["repeats"],
+        config=SimConfig.from_dict(data["config"]),
+        run_seed=data["run_seed"],
+        policy=data["policy"],
+    )
+
+
+def write_artifact(directory: str | Path, verdict: SeedVerdict,
+                   options: SoakOptions) -> Path:
+    """Write ``seed-<N>.json`` for a failing verdict; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    from ..workloads.fuzz import generate_case
+
+    artifact: dict[str, Any] = {
+        "format": FORMAT,
+        "version": VERSION,
+        "seed": verdict.seed,
+        "options": {
+            "matrix": options.matrix,
+            "shrink": options.shrink,
+            "inject": options.inject,
+        },
+        "repro": repro_command(verdict.seed, options),
+        "failures": [{"kind": f.kind, "variant": f.variant,
+                      "detail": f.detail} for f in verdict.failures],
+        "case": _case_to_dict(generate_case(verdict.seed)),
+        "minimized": None,
+        "shrink": None,
+    }
+    if verdict.shrunk is not None:
+        artifact["minimized"] = _case_to_dict(verdict.shrunk.case)
+        artifact["shrink"] = {
+            "ops_before": verdict.shrunk.ops_before,
+            "ops_after": verdict.shrunk.ops_after,
+            "evals": verdict.shrunk.evals,
+            "exhausted": verdict.shrunk.exhausted,
+        }
+    path = directory / f"seed-{verdict.seed}.json"
+    path.write_text(json.dumps(artifact, indent=2) + "\n")
+    return path
+
+
+def load_artifact(path: str | Path) -> dict[str, Any]:
+    path = Path(path)
+    try:
+        artifact = json.loads(path.read_text())
+    except FileNotFoundError as exc:
+        raise LogFormatError(f"no triage artifact at {path}") from exc
+    except json.JSONDecodeError as exc:
+        raise LogFormatError(f"{path} is not valid JSON: {exc}") from exc
+    if artifact.get("format") != FORMAT:
+        raise LogFormatError(f"{path} is not a soak triage artifact")
+    return artifact
+
+
+def rerun_artifact(path: str | Path) -> tuple[list[SeedFailure], str]:
+    """Re-run an artifact's case (minimized when present) through the
+    differential checks it originally failed. Returns the fresh failures
+    and which case ("minimized" or "original") ran."""
+    artifact = load_artifact(path)
+    which = "minimized" if artifact.get("minimized") else "original"
+    case = _case_from_dict(artifact["minimized"] or artifact["case"])
+    recorded = artifact.get("options", {})
+    options = SoakOptions(matrix=bool(recorded.get("matrix")),
+                          inject=recorded.get("inject"))
+    return run_case(case, options), which

@@ -1,0 +1,97 @@
+"""The config lattice: implementation variants a seed is run across.
+
+Variants come in two strengths:
+
+- **bit-identical** variants toggle mechanisms that are documented as
+  observationally free — the decode cache, presence-based snoop
+  filtering, telemetry, chunk-log compression-on-save. A run under any of
+  these must produce exactly the baseline's digest (memory image, chunk
+  log, input log, outputs, exit codes, cycle and unit counts).
+- **self-verifying** variants change real machine/kernel shape
+  (store-buffer depth and drain cadence, scheduler quantum), so they
+  legitimately execute a different interleaving. For those the oracle is
+  the recorder's own contract: record → replay → verify must pass.
+
+Every variant's recording is additionally round-tripped through
+``Recording`` save/load and ``compress_chunks``/``decompress_chunks`` by
+the differential runner.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..config import SimConfig
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One point of the lattice. ``None`` overrides keep the case's value."""
+
+    name: str
+    decode_cache: bool = True
+    snoop_filter: bool = True
+    telemetry: bool | None = None
+    compress_chunk_log: bool | None = None
+    store_buffer_entries: int | None = None
+    store_buffer_drain: int | None = None
+    quantum: int | None = None
+    #: Must this variant's outcome digest equal the baseline's?
+    bit_identical: bool = True
+
+    def apply(self, config: SimConfig) -> SimConfig:
+        """The case config with this variant's overrides folded in."""
+        machine = config.machine
+        if (self.store_buffer_entries is not None
+                or self.store_buffer_drain is not None):
+            store_buffer = machine.store_buffer
+            if self.store_buffer_entries is not None:
+                store_buffer = dataclasses.replace(
+                    store_buffer, entries=self.store_buffer_entries)
+            if self.store_buffer_drain is not None:
+                store_buffer = dataclasses.replace(
+                    store_buffer, drain_period=self.store_buffer_drain)
+            machine = dataclasses.replace(machine, store_buffer=store_buffer)
+        kernel = config.kernel
+        if self.quantum is not None:
+            kernel = dataclasses.replace(
+                kernel, quantum_instructions=self.quantum)
+        capo = config.capo
+        if self.compress_chunk_log is not None:
+            capo = dataclasses.replace(
+                capo, compress_chunk_log=self.compress_chunk_log)
+        telemetry = config.telemetry
+        if self.telemetry is not None:
+            telemetry = dataclasses.replace(telemetry, enabled=self.telemetry)
+        return dataclasses.replace(config, machine=machine, kernel=kernel,
+                                   capo=capo, telemetry=telemetry)
+
+
+BASELINE = Variant("baseline")
+
+#: The fixed lattice a ``--matrix`` campaign runs besides the baseline.
+MATRIX_VARIANTS: tuple[Variant, ...] = (
+    Variant("decode-off", decode_cache=False),
+    Variant("snoop-filter-off", snoop_filter=False),
+    Variant("telemetry-on", telemetry=True),
+    Variant("zlib-off", compress_chunk_log=False),
+    Variant("sb-shallow", store_buffer_entries=1, store_buffer_drain=1,
+            bit_identical=False),
+    Variant("sb-deep", store_buffer_entries=16, store_buffer_drain=33,
+            bit_identical=False),
+    Variant("quantum-tight", quantum=97, bit_identical=False),
+)
+
+
+def matrix_variants() -> tuple[Variant, ...]:
+    return MATRIX_VARIANTS
+
+
+def variant_by_name(name: str) -> Variant:
+    if name == BASELINE.name:
+        return BASELINE
+    for variant in MATRIX_VARIANTS:
+        if variant.name == name:
+            return variant
+    raise KeyError(f"unknown soak variant {name!r}")

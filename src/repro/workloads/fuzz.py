@@ -15,6 +15,7 @@ three ways:
 from __future__ import annotations
 
 import random
+import traceback
 from dataclasses import dataclass, field
 
 from .. import session
@@ -207,6 +208,43 @@ def random_config(rng: random.Random) -> SimConfig:
 
 
 @dataclass
+class FuzzCase:
+    """One fully-determined fuzz scenario: everything needed to rebuild the
+    program and rerun it, independent of any RNG state. The soak subsystem
+    runs these across its config lattice and the shrinker mutates them."""
+
+    seed: int
+    threads_ops: list[list[tuple]]
+    repeats: int
+    config: SimConfig
+    run_seed: int
+    policy: str
+
+    def op_count(self) -> int:
+        return sum(len(ops) for ops in self.threads_ops)
+
+    def build(self) -> Program:
+        return build_program(self.threads_ops, repeats=self.repeats)
+
+
+def generate_case(seed: int) -> FuzzCase:
+    """Derive the :class:`FuzzCase` for ``seed``.
+
+    Draw order is load-bearing: it must match what :func:`fuzz_once` has
+    always done so historical seed numbers keep reproducing the same runs.
+    """
+    rng = random.Random(seed)
+    threads = rng.randint(2, 3)
+    threads_ops = [random_ops(rng) for _ in range(threads)]
+    repeats = rng.randint(1, 3)
+    config = random_config(rng)
+    run_seed = rng.randrange(1 << 16)
+    policy = rng.choice(["random", "bursty", "rr"])
+    return FuzzCase(seed=seed, threads_ops=threads_ops, repeats=repeats,
+                    config=config, run_seed=run_seed, policy=policy)
+
+
+@dataclass
 class FuzzReport:
     """Outcome of a fuzz campaign."""
 
@@ -221,17 +259,14 @@ class FuzzReport:
 
 def fuzz_once(seed: int) -> tuple[bool, str]:
     """One seeded fuzz round: generate, record, replay, verify."""
-    rng = random.Random(seed)
-    threads = rng.randint(2, 3)
-    threads_ops = [random_ops(rng) for _ in range(threads)]
-    program = build_program(threads_ops, repeats=rng.randint(1, 3))
-    config = random_config(rng)
+    case = generate_case(seed)
     try:
         _outcome, _replayed, report = session.record_and_replay(
-            program, seed=rng.randrange(1 << 16),
-            policy=rng.choice(["random", "bursty", "rr"]), config=config)
+            case.build(), seed=case.run_seed, policy=case.policy,
+            config=case.config)
     except Exception as exc:  # noqa: BLE001 - soak harness reports, not dies
-        return False, f"{type(exc).__name__}: {exc}"
+        return False, (f"{type(exc).__name__}: {exc}\n"
+                       f"{traceback.format_exc()}")
     if not report.ok:
         return False, report.summary()
     return True, "ok"

@@ -1,4 +1,6 @@
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import LogFormatError
 from repro.mrr.chunk import ChunkEntry, Reason
@@ -68,3 +70,46 @@ def test_out_of_order_stream_entries_handled():
 def test_large_values_round_trip():
     entries = [ChunkEntry(1, 2**31, 2**30, 1000, 60_000, Reason.SIZE)]
     assert decompress_chunks(compress_chunks(entries)) == entries
+
+
+# -- robustness: truncation and corruption must surface as LogFormatError ----
+
+def test_truncated_header_raises_logformat_not_indexerror():
+    # The verified bug: a blob cut right after the magic used to raise a
+    # bare IndexError reading the flags byte.
+    with pytest.raises(LogFormatError):
+        decompress_chunks(compress_chunks([])[:4])
+
+
+def test_corrupt_zlib_payload_raises_logformat_not_zlib_error():
+    blob = bytearray(compress_chunks(make_log()))
+    blob[10] ^= 0xFF
+    with pytest.raises(LogFormatError):
+        decompress_chunks(bytes(blob))
+
+
+@pytest.mark.parametrize("use_zlib", [True, False])
+def test_every_truncation_offset_raises_logformat(use_zlib):
+    blob = compress_chunks(make_log(threads=2, per_thread=6),
+                           use_zlib=use_zlib)
+    for cut in range(len(blob)):
+        with pytest.raises(LogFormatError):
+            decompress_chunks(blob[:cut])
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.data(), use_zlib=st.booleans())
+def test_corrupted_byte_never_escapes_logformat(data, use_zlib):
+    # Flipping any single byte of a valid blob must either still decode
+    # (the corruption landed in a value) or raise LogFormatError — never a
+    # raw IndexError/zlib.error/ValueError.
+    blob = bytearray(compress_chunks(make_log(threads=2, per_thread=4),
+                                     use_zlib=use_zlib))
+    position = data.draw(st.integers(0, len(blob) - 1))
+    replacement = data.draw(
+        st.integers(0, 255).filter(lambda b: b != blob[position]))
+    blob[position] = replacement
+    try:
+        decompress_chunks(bytes(blob))
+    except LogFormatError:
+        pass

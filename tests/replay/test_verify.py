@@ -28,7 +28,7 @@ def test_memory_mismatch():
 def test_output_content_mismatch_reports_offset():
     report = verify_replay("d1", {"stdout": b"oak"}, {1: 0}, make_result())
     assert not report.output_match
-    assert any("offset 1" in m for m in report.mismatches)
+    assert any("content differs at offset 1" in m for m in report.mismatches)
 
 
 def test_output_missing_file():
@@ -48,6 +48,21 @@ def test_exit_code_mismatch():
     assert "DIVERGED" in report.summary()
 
 
-def test_length_prefix_mismatch_offset():
+def test_prefix_mismatch_reports_truncation_not_offset():
+    # Replay produced a strict prefix of the recorded output: every
+    # compared byte matches, so "first difference at offset 2" was a lie.
     report = verify_replay("d1", {"stdout": b"okmore"}, {1: 0}, make_result())
-    assert any("offset 2" in m for m in report.mismatches)
+    assert any("replay output truncated at length 2" in m
+               for m in report.mismatches)
+    assert not any("differs" in m for m in report.mismatches)
+
+
+def test_prefix_mismatch_reports_extension():
+    report = verify_replay("d1", {"stdout": b"o"}, {1: 0}, make_result())
+    assert any("replay output extended at length 1" in m
+               for m in report.mismatches)
+
+
+def test_equal_length_content_mismatch_still_reports_offset():
+    report = verify_replay("d1", {"stdout": b"ox"}, {1: 0}, make_result())
+    assert any("content differs at offset 1" in m for m in report.mismatches)

@@ -1,0 +1,90 @@
+"""The delta-debugging minimizer, mostly against synthetic predicates
+(no simulation) so the reduction logic is tested in isolation."""
+
+from dataclasses import replace
+
+from repro.soak.shrink import ShrinkResult, ddmin, shrink_case
+from repro.workloads.fuzz import FuzzCase, random_config
+import random
+
+BAD = ("alu", "xor", 7)
+
+
+def make_case(threads_ops, repeats=3, policy="random", run_seed=99):
+    return FuzzCase(seed=0, threads_ops=threads_ops, repeats=repeats,
+                    config=random_config(random.Random(0)),
+                    run_seed=run_seed, policy=policy)
+
+
+def contains_bad(case: FuzzCase) -> bool:
+    return any(BAD in ops for ops in case.threads_ops)
+
+
+def test_ddmin_reduces_to_single_culprit():
+    items = [("load", i) for i in range(20)] + [BAD] + \
+            [("store", i, 0) for i in range(20)]
+    assert ddmin(items, lambda ops: BAD in ops) == [BAD]
+
+
+def test_ddmin_keeps_interacting_pair():
+    a, b = ("load", 1), ("store", 2, 0)
+    items = [("pause",)] * 10 + [a] + [("pause",)] * 10 + [b]
+    result = ddmin(items, lambda ops: a in ops and b in ops)
+    assert result == [a, b]
+
+
+def test_ddmin_handles_empty_failing():
+    assert ddmin([1, 2, 3], lambda ops: True) == []
+
+
+def test_shrink_case_minimizes_ops_threads_and_config():
+    case = make_case([[("load", 0)] * 8, [("load", 1)] * 6 + [BAD],
+                      [("pause",)] * 5])
+    result = shrink_case(case, contains_bad)
+    assert isinstance(result, ShrinkResult)
+    assert result.case.threads_ops == [[BAD]]
+    assert result.case.repeats == 1
+    assert result.case.policy == "rr"
+    assert result.case.run_seed == 0
+    assert result.case.config.machine.num_cores == 1
+    assert result.ops_before == 20
+    assert result.ops_after == 1
+    assert not result.exhausted
+    assert contains_bad(result.case)
+
+
+def test_shrink_respects_evaluation_budget():
+    case = make_case([[("load", i) for i in range(30)] + [BAD]])
+    result = shrink_case(case, contains_bad, max_evals=3)
+    assert result.exhausted
+    assert result.evals <= 3
+    # the returned case still fails even when the budget ran out
+    assert contains_bad(result.case)
+
+
+def test_shrink_memoizes_repeat_candidates():
+    seen = []
+
+    def fails(case: FuzzCase) -> bool:
+        seen.append(1)
+        return contains_bad(case)
+
+    case = make_case([[BAD], [("pause",)]], repeats=1)
+    result = shrink_case(case, fails)
+    assert result.case.threads_ops == [[BAD]]
+    # every distinct candidate is evaluated at most once
+    assert result.evals == len(seen)
+
+
+def test_shrink_preserves_failure_when_config_is_load_bearing():
+    # The failure depends on a 4-core config: the shrinker must not
+    # "simplify" it away.
+    def fails(case: FuzzCase) -> bool:
+        return contains_bad(case) and case.config.machine.num_cores == 4
+
+    case = make_case([[BAD, ("pause",)]])
+    case = replace(case, config=replace(
+        case.config, machine=replace(case.config.machine, num_cores=4)))
+    result = shrink_case(case, fails)
+    assert result.case.config.machine.num_cores == 4
+    assert result.case.threads_ops == [[BAD]]

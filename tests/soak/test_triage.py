@@ -1,0 +1,67 @@
+"""Triage artifacts: serialization, repro commands, local re-runs."""
+
+import json
+
+import pytest
+
+from repro.errors import LogFormatError
+from repro.soak import (
+    SoakOptions,
+    load_artifact,
+    repro_command,
+    rerun_artifact,
+    run_seed,
+    write_artifact,
+)
+from repro.soak.triage import _case_from_dict, _case_to_dict
+from repro.workloads.fuzz import generate_case
+
+
+def test_case_serialization_round_trips():
+    case = generate_case(123)
+    back = _case_from_dict(json.loads(json.dumps(_case_to_dict(case))))
+    assert back == case
+
+
+def test_repro_command_reflects_options():
+    options = SoakOptions(matrix=True, shrink=True, inject="decode-cache")
+    command = repro_command(7, options)
+    assert command.startswith("quickrec fuzz --count 1 --base-seed 7")
+    assert "--matrix" in command and "--shrink" in command
+    assert "--inject decode-cache" in command
+
+
+def test_artifact_write_load_rerun(tmp_path):
+    options = SoakOptions(matrix=True, shrink=True, inject="decode-cache",
+                          max_shrink_evals=60)
+    verdict = run_seed(42, options)
+    assert not verdict.ok
+    path = write_artifact(tmp_path, verdict, options)
+    artifact = load_artifact(path)
+    assert artifact["seed"] == 42
+    assert artifact["failures"]
+    assert artifact["shrink"]["ops_after"] <= 6
+    assert artifact["minimized"] is not None
+
+    failures, which = rerun_artifact(path)
+    assert which == "minimized"
+    assert failures, "the minimized case must still reproduce the failure"
+    assert any(f.kind == "divergence" for f in failures)
+
+
+def test_rerun_falls_back_to_original_case(tmp_path):
+    options = SoakOptions(matrix=True, inject="decode-cache")
+    verdict = run_seed(42, options)  # no shrinking
+    path = write_artifact(tmp_path, verdict, options)
+    failures, which = rerun_artifact(path)
+    assert which == "original"
+    assert failures
+
+
+def test_load_artifact_rejects_garbage(tmp_path):
+    path = tmp_path / "not-an-artifact.json"
+    path.write_text("{\"format\": \"something-else\"}")
+    with pytest.raises(LogFormatError):
+        load_artifact(path)
+    with pytest.raises(LogFormatError):
+        load_artifact(tmp_path / "missing.json")

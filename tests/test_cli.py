@@ -119,7 +119,40 @@ def test_debug_full_run_command(tmp_path, capsys):
 
 def test_fuzz_command(capsys):
     assert main(["fuzz", "--count", "3", "--base-seed", "7"]) == 0
-    assert "3/3 runs verified" in capsys.readouterr().out
+    assert "3/3 seeds verified" in capsys.readouterr().out
+
+
+def test_fuzz_matrix_command(capsys):
+    assert main(["fuzz", "--count", "2", "--base-seed", "1",
+                 "--matrix"]) == 0
+    assert "matrix differential" in capsys.readouterr().out
+
+
+def test_fuzz_parallel_command(capsys):
+    assert main(["fuzz", "--count", "4", "--jobs", "2"]) == 0
+    assert "4/4 seeds verified" in capsys.readouterr().out
+
+
+def test_fuzz_injected_failure_exits_nonzero_with_repro(tmp_path, capsys):
+    artifacts = tmp_path / "triage"
+    assert main(["fuzz", "--count", "1", "--base-seed", "42", "--matrix",
+                 "--shrink", "--inject", "decode-cache",
+                 "--artifacts", str(artifacts)]) == 1
+    out = capsys.readouterr().out
+    assert "0/1 seeds verified" in out
+    assert "[divergence] variant decode-off" in out
+    assert ("repro: quickrec fuzz --count 1 --base-seed 42 --jobs 1 "
+            "--matrix --shrink --inject decode-cache") in out
+    assert "shrunk:" in out
+    [artifact] = list(artifacts.glob("seed-*.json"))
+
+    capsys.readouterr()
+    assert main(["fuzz", "--from-artifact", str(artifact)]) == 1
+    assert "still fails" in capsys.readouterr().out
+
+
+def test_fuzz_inject_without_matrix_is_usage_error(capsys):
+    assert main(["fuzz", "--count", "1", "--inject", "decode-cache"]) == 2
 
 
 def test_record_trace_writes_valid_chrome_trace(tmp_path, capsys):

@@ -10,6 +10,7 @@ from repro.workloads.fuzz import (
     emit_ops,
     fuzz_many,
     fuzz_once,
+    generate_case,
     random_config,
     random_ops,
 )
@@ -48,9 +49,31 @@ def test_random_config_valid():
         assert 1 <= config.machine.num_cores <= 4
 
 
+def test_generate_case_is_deterministic_and_buildable():
+    case = generate_case(77)
+    assert case == generate_case(77)
+    assert case != generate_case(78)
+    assert 2 <= len(case.threads_ops) <= 3
+    assert case.op_count() == sum(len(ops) for ops in case.threads_ops)
+    assert len(case.build()) > 0
+
+
 def test_fuzz_once_verifies():
     ok, detail = fuzz_once(seed=77)
     assert ok, detail
+
+
+def test_fuzz_once_failure_detail_has_traceback(monkeypatch):
+    from repro.workloads import fuzz as fuzz_mod
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("injected crash")
+
+    monkeypatch.setattr(fuzz_mod.session, "record_and_replay", boom)
+    ok, detail = fuzz_once(seed=1)
+    assert not ok
+    assert detail.startswith("RuntimeError: injected crash")
+    assert "Traceback (most recent call last)" in detail
 
 
 def test_fuzz_many_counts():
