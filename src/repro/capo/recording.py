@@ -1,7 +1,9 @@
 """The recording bundle: everything replay is allowed to see.
 
 A recording contains the program image, the configuration it ran under, the
-chunk log, the input-event log, and verification metadata (final memory
+chunk log, the input-event log, optional embedded checkpoints (periodic
+snapshots of deterministic replay state, see
+:mod:`repro.replay.checkpoint`), and verification metadata (final memory
 digest, output file contents, exit codes). Notably it does *not* contain
 the scheduler or interleaver seeds — if replay needed those, the logs would
 not be capturing the nondeterminism.
@@ -9,26 +11,38 @@ not be capturing the nondeterminism.
 Bundles round-trip to a directory::
 
     rec/
-      manifest.json   config + metadata + log sizes
-      program.json    the exact program image
-      input.bin       input-event log
-      chunks.bin      packed chunk log (raw format)
-      chunks.qrz      compressed chunk log (when enabled)
+      manifest.json    config + metadata + log sizes
+      program.json     the exact program image
+      input.bin        input-event log
+      chunks.bin       packed chunk log (raw format)
+      chunks.qrz       compressed chunk log (when enabled)
+      checkpoints.bin  delta-encoded checkpoint section (when present)
+
+Loading is *lazy*: ``Recording.load`` reads and validates only the
+manifest and program image; each log section is read and decoded on first
+access. ``quickrec``'s metadata-only paths (stats headers, manifest
+summaries) therefore never pay for decompressing chunk payloads they do
+not read, which matters once recordings reach millions of chunks.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable, Sequence
 
 from ..config import SimConfig
 from ..errors import LogFormatError
 from ..isa.program import Program
 from ..mrr.chunk import ChunkEntry
 from ..mrr.compression import compress_chunks, decompress_chunks
-from ..mrr.logfmt import decode_chunks, encode_chunks
+from ..mrr.logfmt import (
+    CheckpointRecord,
+    decode_checkpoints,
+    decode_chunks,
+    encode_checkpoints,
+    encode_chunks,
+)
 from .events import InputEvent
 from .input_log import decode_events, encode_events
 
@@ -37,17 +51,103 @@ PROGRAM_NAME = "program.json"
 INPUT_NAME = "input.bin"
 CHUNKS_NAME = "chunks.bin"
 CHUNKS_COMPRESSED_NAME = "chunks.qrz"
+CHECKPOINTS_NAME = "checkpoints.bin"
 
 
-@dataclass
 class Recording:
-    """A complete, self-contained recording of one run."""
+    """A complete, self-contained recording of one run.
 
-    config: SimConfig
-    program: Program
-    chunks: list[ChunkEntry]
-    events: list[InputEvent]
-    metadata: dict[str, Any] = field(default_factory=dict)
+    ``chunks``, ``events`` and ``checkpoints`` may be passed either as
+    materialized lists (the in-memory recorder path) or as zero-argument
+    loader callables (the lazy ``load`` path); the corresponding property
+    forces a loader exactly once.
+    """
+
+    def __init__(self, config: SimConfig, program: Program,
+                 chunks: list[ChunkEntry] | Callable[[], list[ChunkEntry]],
+                 events: list[InputEvent] | Callable[[], list[InputEvent]],
+                 metadata: dict[str, Any] | None = None,
+                 checkpoints: Sequence[CheckpointRecord]
+                 | Callable[[], list[CheckpointRecord]] | None = None):
+        self.config = config
+        self.program = program
+        self.metadata: dict[str, Any] = metadata if metadata is not None else {}
+        self._chunks = chunks
+        self._events = events
+        self._checkpoints = list(checkpoints) \
+            if isinstance(checkpoints, (list, tuple)) \
+            else (checkpoints if checkpoints is not None else [])
+
+    # -- lazy sections -----------------------------------------------------------
+
+    @property
+    def chunks(self) -> list[ChunkEntry]:
+        if callable(self._chunks):
+            self._chunks = self._chunks()
+        return self._chunks
+
+    @chunks.setter
+    def chunks(self, value: list[ChunkEntry]) -> None:
+        self._chunks = value
+
+    @property
+    def events(self) -> list[InputEvent]:
+        if callable(self._events):
+            self._events = self._events()
+        return self._events
+
+    @events.setter
+    def events(self, value: list[InputEvent]) -> None:
+        self._events = value
+
+    @property
+    def checkpoints(self) -> list[CheckpointRecord]:
+        if callable(self._checkpoints):
+            self._checkpoints = self._checkpoints()
+        return self._checkpoints
+
+    @checkpoints.setter
+    def checkpoints(self, value: Sequence[CheckpointRecord]) -> None:
+        self._checkpoints = list(value)
+
+    @property
+    def sections_loaded(self) -> dict[str, bool]:
+        """Which log sections have been decoded so far (lazy-load probe)."""
+        return {
+            "chunks": not callable(self._chunks),
+            "events": not callable(self._events),
+            "checkpoints": not callable(self._checkpoints),
+        }
+
+    def replace(self, **changes: Any) -> "Recording":
+        """A shallow clone with the given attributes replaced — the
+        ``dataclasses.replace`` analogue for this (lazy, non-dataclass)
+        bundle. Unforced loaders are shared, not forced."""
+        clone = Recording(config=self.config, program=self.program,
+                          chunks=self._chunks, events=self._events,
+                          metadata=dict(self.metadata),
+                          checkpoints=self._checkpoints)
+        for key, value in changes.items():
+            if not hasattr(clone, key):
+                raise AttributeError(f"Recording has no attribute {key!r}")
+            setattr(clone, key, value)
+        return clone
+
+    def checkpoint_at(self, position: int) -> CheckpointRecord | None:
+        """The checkpoint recorded exactly at chunk-schedule ``position``."""
+        for record in self.checkpoints:
+            if record.position == position:
+                return record
+        return None
+
+    def nearest_checkpoint(self, position: int) -> CheckpointRecord | None:
+        """The latest checkpoint at or before ``position`` (None = start)."""
+        best = None
+        for record in self.checkpoints:
+            if record.position <= position and (
+                    best is None or record.position > best.position):
+                best = record
+        return best
 
     # -- derived sizes (the log-rate experiments) ----------------------------
 
@@ -63,6 +163,10 @@ class Recording:
 
     def total_log_bytes(self) -> int:
         return self.chunk_log_bytes() + self.input_log_bytes()
+
+    def checkpoint_log_bytes(self) -> int:
+        return len(encode_checkpoints(self.checkpoints)) \
+            if self.checkpoints else 0
 
     def chunks_of(self, rthread: int) -> list[ChunkEntry]:
         return [chunk for chunk in self.chunks if chunk.rthread == rthread]
@@ -86,6 +190,9 @@ class Recording:
         if self.config.capo.compress_chunk_log:
             (directory / CHUNKS_COMPRESSED_NAME).write_bytes(
                 compress_chunks(self.chunks))
+        if self.checkpoints:
+            (directory / CHECKPOINTS_NAME).write_bytes(
+                encode_checkpoints(self.checkpoints))
         manifest = {
             "format": "quickrec-recording",
             "version": 1,
@@ -93,6 +200,7 @@ class Recording:
             "metadata": self.metadata,
             "chunk_count": len(self.chunks),
             "event_count": len(self.events),
+            "checkpoint_count": len(self.checkpoints),
             "chunk_log_bytes": len(chunk_blob),
             "input_log_bytes": len(input_blob),
         }
@@ -112,19 +220,39 @@ class Recording:
         config = SimConfig.from_dict(manifest["config"])
         program = Program.from_dict(
             json.loads((directory / PROGRAM_NAME).read_text()))
-        chunk_path = directory / CHUNKS_NAME
-        if chunk_path.exists():
-            chunks = decode_chunks(chunk_path.read_bytes())
-        else:
-            compressed = directory / CHUNKS_COMPRESSED_NAME
-            if not compressed.exists():
-                raise LogFormatError(f"no chunk log in {directory}")
-            chunks = decompress_chunks(compressed.read_bytes())
-        events = decode_events((directory / INPUT_NAME).read_bytes())
-        recording = cls(config=config, program=program, chunks=chunks,
-                        events=events, metadata=manifest.get("metadata", {}))
-        if len(recording.chunks) != manifest.get("chunk_count"):
-            raise LogFormatError("chunk count mismatch against manifest")
-        if len(recording.events) != manifest.get("event_count"):
-            raise LogFormatError("event count mismatch against manifest")
-        return recording
+
+        def load_chunks() -> list[ChunkEntry]:
+            chunk_path = directory / CHUNKS_NAME
+            if chunk_path.exists():
+                chunks = decode_chunks(chunk_path.read_bytes())
+            else:
+                compressed = directory / CHUNKS_COMPRESSED_NAME
+                if not compressed.exists():
+                    raise LogFormatError(f"no chunk log in {directory}")
+                chunks = decompress_chunks(compressed.read_bytes())
+            if len(chunks) != manifest.get("chunk_count"):
+                raise LogFormatError("chunk count mismatch against manifest")
+            return chunks
+
+        def load_events() -> list[InputEvent]:
+            events = decode_events((directory / INPUT_NAME).read_bytes())
+            if len(events) != manifest.get("event_count"):
+                raise LogFormatError("event count mismatch against manifest")
+            return events
+
+        def load_checkpoints() -> list[CheckpointRecord]:
+            path = directory / CHECKPOINTS_NAME
+            # Recordings made before the checkpoint section simply lack the
+            # file (and the manifest key): that is a valid, empty section.
+            if not path.exists():
+                return []
+            records = decode_checkpoints(path.read_bytes())
+            expected = manifest.get("checkpoint_count")
+            if expected is not None and len(records) != expected:
+                raise LogFormatError(
+                    "checkpoint count mismatch against manifest")
+            return records
+
+        return cls(config=config, program=program, chunks=load_chunks,
+                   events=load_events, metadata=manifest.get("metadata", {}),
+                   checkpoints=load_checkpoints)

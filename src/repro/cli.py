@@ -5,8 +5,12 @@ Subcommands::
     quickrec list                         # available workloads
     quickrec record fft -o /tmp/rec       # record a workload to disk
     quickrec record fft --trace t.json    # ... with a Perfetto-loadable trace
+    quickrec record fft -o /tmp/rec --checkpoint-every 64   # + checkpoints
     quickrec stats fft                    # record + replay, metrics tables
     quickrec replay /tmp/rec              # replay + verify a saved recording
+    quickrec replay /tmp/rec --jobs 4     # parallel interval replay
+    quickrec replay /tmp/rec --until 100  # O(interval) seek to a position
+    quickrec inspect /tmp/rec --at 100    # thread states at a position
     quickrec roundtrip fft radix          # record, replay, verify in memory
     quickrec overhead fft --seed 3        # native / hw / full cycle compare
     quickrec info /tmp/rec                # recording summary
@@ -70,7 +74,7 @@ def _cmd_record(args: argparse.Namespace) -> int:
     outcome = session.record(program, seed=args.seed, policy=args.policy,
                              input_files=inputs, config=config)
     recording = outcome.recording
-    print(render_kv({
+    rows = {
         "workload": args.workload,
         "instructions": outcome.instructions,
         "chunks": len(recording.chunks),
@@ -78,7 +82,13 @@ def _cmd_record(args: argparse.Namespace) -> int:
         "chunk log bytes": recording.chunk_log_bytes(),
         "input log bytes": recording.input_log_bytes(),
         "cycles": outcome.total_cycles,
-    }, title="recorded"))
+    }
+    if args.checkpoint_every:
+        session.add_checkpoints(recording, args.checkpoint_every,
+                                telemetry=outcome.telemetry)
+        rows["checkpoints"] = len(recording.checkpoints)
+        rows["checkpoint section bytes"] = recording.checkpoint_log_bytes()
+    print(render_kv(rows, title="recorded"))
     if args.out:
         recording.save(args.out)
         print(f"saved to {args.out}")
@@ -108,7 +118,26 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_replay(args: argparse.Namespace) -> int:
     recording = Recording.load(args.directory)
-    result = session.replay_recording(recording)
+    if args.until is not None:
+        from .replay.checkpoint import capture_state, replayer_at, \
+            state_digest
+        replayer = replayer_at(recording, args.until)
+        nearest = recording.nearest_checkpoint(args.until)
+        base = nearest.position if nearest else 0
+        print(render_kv({
+            "position": replayer.position,
+            "restored from checkpoint":
+                base if base else "(none: replayed prefix)",
+            "chunks stepped": replayer.position - base,
+            "state digest": state_digest(capture_state(replayer)),
+        }, title=f"seek to chunk {args.until}"))
+        return 0
+    if args.jobs > 1:
+        from .replay.parallel import replay_parallel
+        result, report = replay_parallel(
+            recording=recording, directory=args.directory, jobs=args.jobs)
+    else:
+        result, report = session.replay_recording(recording), None
     meta = recording.metadata
     ok = True
     if "final_memory_digest" in meta:
@@ -117,17 +146,25 @@ def _cmd_replay(args: argparse.Namespace) -> int:
                    for name, data in meta.get("outputs_hex", {}).items()}
         exit_codes = {int(tid): code
                       for tid, code in meta.get("exit_codes", {}).items()}
-        report = verify_replay(meta["final_memory_digest"], outputs,
-                               exit_codes, result)
-        print(report.summary())
-        ok = report.ok
+        verification = verify_replay(meta["final_memory_digest"], outputs,
+                                     exit_codes, result)
+        print(verification.summary())
+        ok = verification.ok
     else:
         print("replayed (no verification metadata in bundle)")
-    print(render_kv({
+    rows = {
         "chunks replayed": result.stats.chunks,
         "units executed": result.stats.units,
         "events applied": result.stats.events,
-    }))
+        "result digest": result.digest(),
+    }
+    if report is not None:
+        rows["jobs"] = report.jobs
+        rows["intervals"] = len(report.intervals)
+        rows["seams verified"] = report.seams_verified
+        rows["parallel wall s"] = round(report.wall_s, 4)
+        rows["speedup bound"] = round(report.speedup_bound, 2)
+    print(render_kv(rows))
     return 0 if ok else 1
 
 
@@ -178,10 +215,37 @@ def _cmd_info(args: argparse.Namespace) -> int:
         "compressed bytes": recording.chunk_log_compressed_bytes(),
         "input events": len(recording.events),
         "input log bytes": recording.input_log_bytes(),
+        "checkpoints": len(recording.checkpoints),
+        "checkpoint section bytes": recording.checkpoint_log_bytes(),
     }, title=f"recording at {args.directory}"))
     print(render_table(("reason", "fraction"),
                        [(reason, frac) for reason, frac in breakdown.items()],
                        title="chunk terminations"))
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from .replay.checkpoint import replayer_at
+
+    recording = Recording.load(args.directory)
+    position = args.at if args.at is not None else len(recording.chunks)
+    replayer = replayer_at(recording, position)
+    nearest = recording.nearest_checkpoint(position)
+    base = nearest.position if nearest else 0
+    print(render_kv({
+        "position": f"{replayer.position}/{len(recording.chunks)}",
+        "embedded checkpoints": len(recording.checkpoints),
+        "restored from": f"checkpoint at {base}" if base
+                         else "start (no earlier checkpoint)",
+        "chunks stepped": replayer.position - base,
+    }, title=f"replay state at chunk {position}"))
+    print("\nthread states:")
+    for rthread in sorted(replayer.threads):
+        ctx = replayer.threads[rthread]
+        status = "exited" if ctx.finished else f"pc={ctx.engine.pc}"
+        print(f"  t{rthread}: {status}, retired={ctx.engine.retired:,}, "
+              f"chunks={ctx.completed_chunks}, "
+              f"withheld stores={len(ctx.withheld)}")
     return 0
 
 
@@ -318,6 +382,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_record.add_argument("--sampling", type=int, default=64,
                           help="telemetry sampling period for per-step "
                                "machine events (default 64)")
+    p_record.add_argument("--checkpoint-every", type=int, default=0,
+                          metavar="K",
+                          help="embed a replay-state checkpoint every K "
+                               "chunk-schedule positions (0 = off); "
+                               "enables parallel replay and fast seek")
     _add_workload_args(p_record)
     p_record.set_defaults(fn=_cmd_record)
 
@@ -336,6 +405,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_replay = sub.add_parser("replay", help="replay a saved recording")
     p_replay.add_argument("directory")
+    p_replay.add_argument("--jobs", type=int, default=1,
+                          help="replay checkpoint intervals across N worker "
+                               "processes (needs embedded checkpoints; "
+                               "output is identical at any job count)")
+    p_replay.add_argument("--until", type=int, default=None, metavar="CHUNK",
+                          help="seek to a chunk position (O(interval) with "
+                               "embedded checkpoints) instead of replaying "
+                               "to the end")
     p_replay.set_defaults(fn=_cmd_replay)
 
     p_round = sub.add_parser("roundtrip",
@@ -352,6 +429,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_info = sub.add_parser("info", help="summarize a saved recording")
     p_info.add_argument("directory")
     p_info.set_defaults(fn=_cmd_info)
+
+    p_inspect = sub.add_parser(
+        "inspect", help="thread states at a chunk position (O(interval) "
+                        "seek via embedded checkpoints)")
+    p_inspect.add_argument("directory")
+    p_inspect.add_argument("--at", type=int, default=None, metavar="CHUNK",
+                           help="chunk-schedule position (default: end)")
+    p_inspect.set_defaults(fn=_cmd_inspect)
 
     p_timeline = sub.add_parser("timeline",
                                 help="per-thread interleaving timeline")

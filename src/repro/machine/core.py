@@ -62,6 +62,17 @@ class EngineContext:
     of: int
     cur_memops: int
 
+    def to_dict(self) -> dict:
+        return {"regs": list(self.regs), "pc": self.pc, "zf": self.zf,
+                "sf": self.sf, "cf": self.cf, "of": self.of,
+                "cur_memops": self.cur_memops}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EngineContext":
+        return cls(regs=tuple(data["regs"]), pc=data["pc"], zf=data["zf"],
+                   sf=data["sf"], cf=data["cf"], of=data["of"],
+                   cur_memops=data["cur_memops"])
+
 
 def _signed(value: int) -> int:
     return value - (1 << 32) if value & 0x80000000 else value
@@ -112,6 +123,38 @@ class Engine:
             self._dispatch = None
 
     # -- context save/restore ------------------------------------------------
+
+    def snapshot_arch(self) -> dict:
+        """Complete architectural state as a JSON-able dict.
+
+        Unlike :meth:`save_context` (the signal-delivery subset), this is
+        the *full* deterministic engine state: retirement and memop
+        counters, the per-chunk load hash, and the load/store totals.
+        ``restore_arch`` of this dict onto a fresh engine for the same
+        program reproduces execution bit-for-bit — the per-core half of
+        the checkpoint protocol.
+        """
+        return {
+            "regs": list(self.regs),
+            "pc": self.pc,
+            "zf": self.zf, "sf": self.sf, "cf": self.cf, "of": self.of,
+            "retired": self.retired,
+            "cur_memops": self.cur_memops,
+            "load_hash": self.load_hash,
+            "loads": self.loads,
+            "stores": self.stores,
+        }
+
+    def restore_arch(self, state: dict) -> None:
+        self.regs = [value & MASK32 for value in state["regs"]]
+        self.pc = state["pc"]
+        self.zf, self.sf = state["zf"], state["sf"]
+        self.cf, self.of = state["cf"], state["of"]
+        self.retired = state["retired"]
+        self.cur_memops = state["cur_memops"]
+        self.load_hash = state["load_hash"]
+        self.loads = state["loads"]
+        self.stores = state["stores"]
 
     def save_context(self) -> EngineContext:
         return EngineContext(regs=tuple(self.regs), pc=self.pc, zf=self.zf,

@@ -76,3 +76,10 @@ class PhysicalMemory:
 
     def snapshot(self) -> bytes:
         return bytes(self._data)
+
+    def restore(self, blob: bytes) -> None:
+        """Replace the full memory contents with a prior :meth:`snapshot`."""
+        if len(blob) != self.size:
+            raise MemoryAccessError(
+                f"snapshot is {len(blob)} bytes, memory is {self.size}")
+        self._data[:] = blob

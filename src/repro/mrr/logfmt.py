@@ -1,4 +1,4 @@
-"""Binary encoding of chunk log entries.
+"""Binary encoding of chunk log entries and checkpoint sections.
 
 Mirrors the prototype's packed 128-bit entry::
 
@@ -12,11 +12,24 @@ Mirrors the prototype's packed 128-bit entry::
 A stream is a 12-byte header (magic ``QRCL``, version, flags, count)
 followed by the entries. When the debug load-hash flag is set, each entry
 carries an extra 8 bytes.
+
+The checkpoint section (magic ``QRCK``) carries periodic snapshots of the
+deterministic replay-visible machine state, keyed by chunk-schedule
+position. Payloads are opaque at this layer (see
+:mod:`repro.replay.checkpoint` for their contents); the section stores
+each one delta-encoded (XOR) against the previous checkpoint's payload and
+zlib-compressed — consecutive snapshots share most of their physical
+memory image, so deltas are overwhelmingly zero bytes. Every record
+carries the SHA-256 of its *raw* payload, verified on decode, which is
+also the seam digest parallel replay validates against.
 """
 
 from __future__ import annotations
 
+import hashlib
 import struct
+import zlib
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..errors import LogFormatError
@@ -88,3 +101,106 @@ def encoded_size(entries: Iterable[ChunkEntry],
     count = sum(1 for _ in entries)
     stride = ENTRY_BYTES + (_HASH.size if with_load_hash else 0)
     return _HEADER.size + count * stride
+
+
+# -- checkpoint section -------------------------------------------------------
+
+CHECKPOINT_MAGIC = b"QRCK"
+CHECKPOINT_VERSION = 1
+_CKPT_HEADER = struct.Struct("<4sBBHI")
+_CKPT_ENTRY = struct.Struct("<IIIB32s")  # position, raw_len, comp_len, flags, digest
+_CKPT_FLAG_DELTA = 0x01
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """One embedded checkpoint: raw replay-state payload at a schedule
+    position, plus the payload's SHA-256 (the seam digest)."""
+
+    position: int
+    digest: str
+    payload: bytes
+
+    @classmethod
+    def for_payload(cls, position: int, payload: bytes) -> "CheckpointRecord":
+        return cls(position=position, payload=payload,
+                   digest=hashlib.sha256(payload).hexdigest())
+
+
+def _xor_bytes(data: bytes, key: bytes) -> bytes:
+    """``data XOR key`` over ``len(data)`` bytes; ``key`` is zero-padded or
+    truncated to fit (payload sizes drift as the JSON header grows)."""
+    if not data or not key:
+        return data
+    if len(key) < len(data):
+        key = key.ljust(len(data), b"\x00")
+    elif len(key) > len(data):
+        key = key[:len(data)]
+    length = len(data)
+    value = int.from_bytes(data, "little") ^ int.from_bytes(key, "little")
+    return value.to_bytes(length, "little")
+
+
+def encode_checkpoints(records: Sequence[CheckpointRecord]) -> bytes:
+    """Serialize checkpoint records (sorted by position) to the packed
+    delta-encoded section."""
+    ordered = sorted(records, key=lambda record: record.position)
+    out = bytearray(_CKPT_HEADER.pack(CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+                                      0, 0, len(ordered)))
+    previous = b""
+    for record in ordered:
+        delta = _xor_bytes(record.payload, previous)
+        flags = _CKPT_FLAG_DELTA if previous else 0
+        compressed = zlib.compress(delta, 6)
+        out += _CKPT_ENTRY.pack(record.position, len(record.payload),
+                                len(compressed), flags,
+                                bytes.fromhex(record.digest))
+        out += compressed
+        previous = record.payload
+    return bytes(out)
+
+
+def decode_checkpoints(blob: bytes) -> list[CheckpointRecord]:
+    """Parse a checkpoint section; verifies every payload digest."""
+    if len(blob) < _CKPT_HEADER.size:
+        raise LogFormatError("checkpoint section truncated before header")
+    magic, version, _flags, _reserved, count = _CKPT_HEADER.unpack_from(blob, 0)
+    if magic != CHECKPOINT_MAGIC:
+        raise LogFormatError(f"bad checkpoint section magic {magic!r}")
+    if version != CHECKPOINT_VERSION:
+        raise LogFormatError(f"unsupported checkpoint section version {version}")
+    records: list[CheckpointRecord] = []
+    offset = _CKPT_HEADER.size
+    previous = b""
+    for _ in range(count):
+        if offset + _CKPT_ENTRY.size > len(blob):
+            raise LogFormatError("checkpoint section truncated in entry header")
+        position, raw_len, comp_len, flags, digest_bytes = \
+            _CKPT_ENTRY.unpack_from(blob, offset)
+        offset += _CKPT_ENTRY.size
+        if offset + comp_len > len(blob):
+            raise LogFormatError("checkpoint section truncated in payload")
+        try:
+            delta = zlib.decompress(blob[offset:offset + comp_len])
+        except zlib.error as exc:
+            raise LogFormatError(
+                f"corrupt checkpoint payload at position {position}: "
+                f"{exc}") from exc
+        offset += comp_len
+        if len(delta) != raw_len:
+            raise LogFormatError(
+                f"checkpoint payload at position {position} is {len(delta)} "
+                f"bytes, expected {raw_len}")
+        payload = _xor_bytes(delta, previous) if flags & _CKPT_FLAG_DELTA \
+            else delta
+        digest = digest_bytes.hex()
+        if hashlib.sha256(payload).hexdigest() != digest:
+            raise LogFormatError(
+                f"checkpoint digest mismatch at position {position}")
+        records.append(CheckpointRecord(position=position, digest=digest,
+                                        payload=payload))
+        previous = payload
+    if offset != len(blob):
+        raise LogFormatError(
+            f"checkpoint section has {len(blob) - offset} trailing bytes")
+    return records

@@ -8,9 +8,17 @@ regression tripwire:
 
 - a **digest mismatch** against the previous entry for the same
   (bench, scale, seed) means the simulation changed behaviour — that is
-  blocking (exit 1);
+  blocking (exit 1); so is a **replay digest mismatch** (the replayed
+  outcome changed, or parallel replay stopped matching serial);
 - a **rate drop** is reported as a warning only: absolute throughput
   depends on the host and is never a correctness signal.
+
+Each bench also measures *replay* throughput: a serial replay of the
+fresh recording, then — after the record pool has drained — a parallel
+interval replay at ``--replay-jobs`` over the recording's embedded
+checkpoints. The parallel pass runs in the parent process (pool workers
+are daemonic and cannot fork children of their own) against the bundle
+the worker saved, and its result digest must equal the serial one.
 
 Benches fan out across a ``multiprocessing`` pool (one process per
 workload; each run is single-threaded and deterministic, so parallelism
@@ -28,6 +36,7 @@ import hashlib
 import json
 import multiprocessing
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -41,6 +50,10 @@ FULL_WORKLOADS = QUICK_WORKLOADS + ("locks", "prodcons", "fft", "lu", "radix")
 
 #: Rate drop (new/old) below which a slowdown warning is emitted.
 SLOWDOWN_WARN_RATIO = 0.7
+
+#: Checkpoint intervals per recording for the replay benches: enough
+#: parallelism for 4 jobs without drowning small logs in snapshot cost.
+CHECKPOINT_INTERVALS = 16
 
 
 def digest_of(outcome) -> str:
@@ -57,15 +70,19 @@ def digest_of(outcome) -> str:
 
 
 def run_bench(spec: tuple) -> dict:
-    """Run one bench: ``spec`` is (workload, scale, seed, repeats).
+    """Run one bench: ``spec`` is (workload, scale, seed, repeats,
+    bundle_dir).
 
     Records ``repeats`` times and keeps the best wall time (the digest is
     checked identical across repeats — a varying digest would mean the
     simulator itself is nondeterministic, which is blocking by definition).
+    Then embeds checkpoints, times a serial replay, and saves the bundle
+    under ``bundle_dir`` for the parent's parallel-replay pass.
     """
     from .. import session, workloads
+    from ..replay.checkpoint import build_checkpoints
 
-    name, scale, seed, repeats = spec
+    name, scale, seed, repeats, bundle_dir = spec
     workload = workloads.REGISTRY[name]
     program, inputs = workloads.build(name, scale=scale)
     best_wall = None
@@ -92,6 +109,19 @@ def run_bench(spec: tuple) -> dict:
                 f"({digest[:16]} != {run_digest[:16]})")
         if best_wall is None or wall < best_wall:
             best_wall = wall
+
+    recording = outcome.recording
+    every = max(1, len(recording.chunks) // CHECKPOINT_INTERVALS)
+    recording.checkpoints = build_checkpoints(recording, every)
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        replayed = session.replay_recording(recording)
+        replay_wall = time.perf_counter() - start
+    finally:
+        gc.enable()
+    recording.save(Path(bundle_dir) / name)
     return {
         "bench": f"{workload.category}.{name}",
         "workload": name,
@@ -103,18 +133,60 @@ def run_bench(spec: tuple) -> dict:
         "digest": digest,
         "wall_s": round(best_wall, 6),
         "rate_units_per_s": round(outcome.units / best_wall, 1),
+        "replay_wall_s": round(replay_wall, 6),
+        "replay_rate_units_per_s": round(replayed.stats.units / replay_wall,
+                                         1),
+        "replay_digest": replayed.digest(),
+        "replay_checkpoints": len(recording.checkpoints),
     }
 
 
+def measure_parallel_replay(results: list[dict], bundle_dir: Path,
+                            jobs: int) -> None:
+    """Parallel-replay each saved bundle in the parent process, recording
+    wall time and speedup into the result rows. The parallel result digest
+    must equal the worker's serial one — a mismatch is a hard error, not a
+    perf signal."""
+    from ..capo.recording import Recording
+    from ..replay.parallel import replay_parallel
+
+    for row in results:
+        directory = bundle_dir / row["workload"]
+        recording = Recording.load(directory)
+        gc.collect()
+        gc.disable()
+        try:
+            result, report = replay_parallel(recording=recording,
+                                             directory=directory, jobs=jobs)
+        finally:
+            gc.enable()
+        if result.digest() != row["replay_digest"]:
+            raise RuntimeError(
+                f"bench {row['workload']}: parallel replay digest diverged "
+                f"from serial ({result.digest()[:16]} != "
+                f"{row['replay_digest'][:16]})")
+        row["replay_jobs"] = report.jobs
+        row["replay_parallel_wall_s"] = round(report.wall_s, 6)
+        row["replay_speedup"] = round(
+            row["replay_wall_s"] / report.wall_s, 3) if report.wall_s else 0.0
+        row["replay_speedup_bound"] = round(report.speedup_bound, 2)
+
+
 def run_all(names: tuple[str, ...], scale: int, seed: int, repeats: int,
-            workers: int) -> list[dict]:
+            workers: int, replay_jobs: int = 4) -> list[dict]:
     """Run every bench, fanning across ``workers`` processes (serial
-    in-process when 1). Result order always follows ``names``."""
-    specs = [(name, scale, seed, repeats) for name in names]
-    if workers <= 1:
-        return [run_bench(spec) for spec in specs]
-    with multiprocessing.Pool(processes=min(workers, len(specs))) as pool:
-        return pool.map(run_bench, specs)
+    in-process when 1), then measure parallel replay against each saved
+    bundle. Result order always follows ``names``."""
+    with tempfile.TemporaryDirectory(prefix="qr-bench-") as bundle_dir:
+        specs = [(name, scale, seed, repeats, bundle_dir) for name in names]
+        if workers <= 1:
+            results = [run_bench(spec) for spec in specs]
+        else:
+            with multiprocessing.Pool(
+                    processes=min(workers, len(specs))) as pool:
+                results = pool.map(run_bench, specs)
+        measure_parallel_replay(results, Path(bundle_dir), jobs=replay_jobs)
+    return results
 
 
 # -- history file ------------------------------------------------------------
@@ -151,6 +223,13 @@ def compare(previous: dict | None, results: list[dict]) -> tuple[list[str],
                 f"{result['bench']}: determinism digest changed "
                 f"({old['digest'][:16]} -> {result['digest'][:16]}) — "
                 "the simulation is no longer bit-identical")
+        if old.get("replay_digest") and result.get("replay_digest") \
+                and old["replay_digest"] != result["replay_digest"]:
+            blocking.append(
+                f"{result['bench']}: replay digest changed "
+                f"({old['replay_digest'][:16]} -> "
+                f"{result['replay_digest'][:16]}) — replay no longer "
+                "reproduces the same outcome")
         ratio = (result["rate_units_per_s"] / old["rate_units_per_s"]
                  if old["rate_units_per_s"] else 1.0)
         if ratio < SLOWDOWN_WARN_RATIO:
@@ -158,6 +237,14 @@ def compare(previous: dict | None, results: list[dict]) -> tuple[list[str],
                 f"{result['bench']}: rate dropped to {ratio:.0%} of the "
                 f"previous run ({old['rate_units_per_s']:,.0f} -> "
                 f"{result['rate_units_per_s']:,.0f} units/s)")
+        old_replay = old.get("replay_rate_units_per_s")
+        new_replay = result.get("replay_rate_units_per_s")
+        if old_replay and new_replay \
+                and new_replay / old_replay < SLOWDOWN_WARN_RATIO:
+            warnings.append(
+                f"{result['bench']}: replay rate dropped to "
+                f"{new_replay / old_replay:.0%} of the previous run "
+                f"({old_replay:,.0f} -> {new_replay:,.0f} units/s)")
     return blocking, warnings
 
 
@@ -177,6 +264,9 @@ def add_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=int, default=None,
                         help="worker processes (default: one per bench, "
                              "capped at CPU count); 1 = serial in-process")
+    parser.add_argument("--replay-jobs", type=int, default=4,
+                        help="worker processes for the parallel replay "
+                             "measurement (default 4)")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="history JSON to append to "
                              "(default: BENCH_simrate.json in the CWD)")
@@ -195,7 +285,8 @@ def run(args: argparse.Namespace) -> int:
     previous = history["entries"][-1] if history["entries"] else None
 
     results = run_all(names, scale=args.scale, seed=args.seed,
-                      repeats=args.repeats, workers=workers)
+                      repeats=args.repeats, workers=workers,
+                      replay_jobs=args.replay_jobs)
     blocking, warnings = compare(previous, results)
 
     entry = {
@@ -212,6 +303,12 @@ def run(args: argparse.Namespace) -> int:
         print(f"{r['bench']:<{width}}  {r['units']:>9} units  "
               f"{r['wall_s']:>8.3f}s  {r['rate_units_per_s']:>12,.0f} u/s  "
               f"digest {r['digest'][:16]}")
+        print(f"{'':<{width}}  replay {r['replay_rate_units_per_s']:>12,.0f}"
+              f" u/s serial, {r['replay_parallel_wall_s']:>8.3f}s at "
+              f"jobs={r['replay_jobs']} "
+              f"(speedup {r['replay_speedup']:.2f}x, "
+              f"bound {r['replay_speedup_bound']:.2f}x, "
+              f"{r['replay_checkpoints']} checkpoints)")
     for message in warnings:
         print(f"warning: {message}", file=sys.stderr)
     for message in blocking:

@@ -12,6 +12,8 @@ verification suite checks.
 from .pending import WithheldStores, ReplayPort
 from .schedule import build_schedule, validate_schedule
 from .replayer import Replayer, ReplayResult
+from .checkpoint import build_checkpoints, replayer_at, restore_replayer
+from .parallel import ParallelReplayReport, plan_intervals, replay_parallel
 from .inspect import ReplayInspector, ThreadView, WatchHit
 from .verify import VerificationReport, verify_replay
 
@@ -22,6 +24,12 @@ __all__ = [
     "validate_schedule",
     "Replayer",
     "ReplayResult",
+    "build_checkpoints",
+    "replayer_at",
+    "restore_replayer",
+    "ParallelReplayReport",
+    "plan_intervals",
+    "replay_parallel",
     "ReplayInspector",
     "ThreadView",
     "WatchHit",

@@ -73,7 +73,8 @@ class ReplayInspector:
         self._replayer = Replayer(recording)
         self._checkpoint_every = checkpoint_every
         # position -> frozen Replayer snapshot (position 0 is implicit:
-        # a fresh Replayer).
+        # a fresh Replayer). Checkpoints *embedded* in the recording are
+        # used as additional seek bases without being materialized here.
         self._checkpoints: dict[int, Replayer] = {}
 
     def _maybe_checkpoint(self) -> None:
@@ -88,21 +89,33 @@ class ReplayInspector:
         """Move to ``position == index``, travelling backwards if needed.
 
         Backward seeks restore the nearest checkpoint at or before
-        ``index`` (or replay from scratch) and re-step; forward seeks just
-        step. Replay determinism makes the restored states identical to
-        the originals.
+        ``index`` — either one of this inspector's in-memory snapshots or
+        one embedded in the recording, whichever is closer — or replay
+        from scratch, then re-step. Far-forward seeks likewise jump over
+        an embedded checkpoint instead of stepping the whole way. Replay
+        determinism makes the restored states identical to the originals.
         """
         if index < 0 or index > self.total_chunks:
             raise ReproError(f"seek target {index} outside [0, "
                              f"{self.total_chunks}]")
+        embedded = self.recording.nearest_checkpoint(index)
+        embedded_pos = embedded.position if embedded else 0
         if index < self.position:
-            candidates = [p for p in self._checkpoints if p <= index]
-            if candidates:
-                base = max(candidates)
-                self._replayer = _clone_replayer(self._checkpoints[base])
+            in_memory = max((p for p in self._checkpoints if p <= index),
+                            default=0)
+            if embedded_pos > in_memory:
+                self._replayer = self._restore_embedded(embedded)
+            elif in_memory:
+                self._replayer = _clone_replayer(self._checkpoints[in_memory])
             else:
                 self._replayer = Replayer(self.recording)
+        elif embedded_pos > self.position:
+            self._replayer = self._restore_embedded(embedded)
         self.run_to_index(index)
+
+    def _restore_embedded(self, record) -> Replayer:
+        from .checkpoint import decode_state, restore_replayer
+        return restore_replayer(self.recording, decode_state(record.payload))
 
     @property
     def checkpoints(self) -> list[int]:

@@ -53,6 +53,16 @@ class WithheldStores:
         while len(self._entries) > keep:
             self._commit_one()
 
+    def snapshot(self) -> list[tuple[int, int, int]]:
+        """FIFO contents, oldest first, as (addr, size, value) triples."""
+        return [(entry.addr, entry.size, entry.value)
+                for entry in self._entries]
+
+    def restore(self, entries: list) -> None:
+        """Replace the FIFO with a prior :meth:`snapshot`."""
+        self._entries = deque(PendingStore(addr, size, value)
+                              for addr, size, value in entries)
+
     def resolve(self, addr: int, size: int) -> tuple[str, int | None]:
         """Store-to-load forwarding, mirroring the store buffer's rules."""
         for entry in reversed(self._entries):

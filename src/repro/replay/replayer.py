@@ -22,6 +22,7 @@ pure injection.
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
 from dataclasses import dataclass
 
@@ -77,6 +78,22 @@ class ReplayResult:
     # Digest of the sphere's memory region, when the recording was made
     # with background processes (metadata "sphere_region").
     region_digest: str | None = None
+
+    def digest(self) -> str:
+        """One digest over everything replay-observable — memory, outputs,
+        exit codes, statistics. Two replays of the same recording are
+        equivalent iff their digests match, which is how serial and
+        parallel replay are compared."""
+        acc = hashlib.sha256()
+        acc.update(self.final_memory_digest.encode())
+        for name in sorted(self.outputs):
+            acc.update(name.encode() + b"\x00" + self.outputs[name] + b"\x00")
+        for rthread in sorted(self.exit_codes):
+            acc.update(f"{rthread}={self.exit_codes[rthread]};".encode())
+        acc.update(repr(sorted(self.stats.as_dict().items())).encode())
+        if self.region_digest is not None:
+            acc.update(self.region_digest.encode())
+        return acc.hexdigest()
 
 
 class _ReplayThread:

@@ -236,9 +236,35 @@ def record(program: Program, **kwargs) -> RunOutcome:
     return simulate(program, mode=MODE_FULL, **kwargs)
 
 
+def add_checkpoints(recording: Recording, every: int,
+                    telemetry: Telemetry | None = None) -> Recording:
+    """Embed periodic replay-state checkpoints into ``recording``.
+
+    Runs one serial replay pass (which also validates the recording end to
+    end) and snapshots deterministic replay state at every ``every``-th
+    chunk-schedule position. The checkpoints ride along in the bundle
+    (``checkpoints.bin``) and enable O(interval) seek and parallel replay.
+    """
+    from .replay.checkpoint import build_checkpoints
+    recording.checkpoints = build_checkpoints(recording, every,
+                                              telemetry=telemetry)
+    return recording
+
+
 def replay_recording(recording: Recording,
-                     telemetry: Telemetry | None = None) -> ReplayResult:
-    """Replay a recording from its logs alone."""
+                     telemetry: Telemetry | None = None,
+                     jobs: int = 1) -> ReplayResult:
+    """Replay a recording from its logs alone.
+
+    With ``jobs > 1`` and embedded checkpoints, replays checkpoint
+    intervals in parallel worker processes, verifying state digests at
+    every seam; the result is bit-identical to ``jobs=1``.
+    """
+    if jobs > 1:
+        from .replay.parallel import replay_parallel
+        result, _report = replay_parallel(recording=recording, jobs=jobs,
+                                          telemetry=telemetry)
+        return result
     return Replayer(recording, telemetry=telemetry).run()
 
 

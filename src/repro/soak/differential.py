@@ -116,8 +116,22 @@ def run_variant(case: FuzzCase, variant: Variant, inject: str | None = None):
     _core.DECODE_CACHE_DEFAULT = variant.decode_cache
     _bus.SNOOP_FILTER_DEFAULT = variant.snoop_filter
     try:
-        outcome, _replayed, report = session.record_and_replay(
-            program, seed=case.run_seed, policy=case.policy, config=config)
+        if variant.checkpoint_every:
+            # Checkpointed path: embed checkpoints post-hoc, then replay
+            # interval by interval — restoring every checkpoint and
+            # verifying every seam digest — before the usual verification.
+            from ..replay.parallel import replay_parallel
+            outcome = session.record(program, seed=case.run_seed,
+                                     policy=case.policy, config=config)
+            session.add_checkpoints(outcome.recording,
+                                    variant.checkpoint_every)
+            replayed, _report = replay_parallel(
+                recording=outcome.recording, jobs=1)
+            report = session.verify(outcome, replayed)
+        else:
+            outcome, _replayed, report = session.record_and_replay(
+                program, seed=case.run_seed, policy=case.policy,
+                config=config)
     finally:
         _core.DECODE_CACHE_DEFAULT, _bus.SNOOP_FILTER_DEFAULT = saved
     return outcome, report
@@ -155,6 +169,8 @@ def _roundtrip_failures(recording: Recording,
                 ("config",
                  loaded.config.to_dict() == recording.config.to_dict()),
                 ("metadata", loaded.metadata == recording.metadata),
+                ("checkpoints",
+                 loaded.checkpoints == recording.checkpoints),
             )
             for what, equal in checks:
                 if not equal:

@@ -37,6 +37,12 @@ class Variant:
     store_buffer_entries: int | None = None
     store_buffer_drain: int | None = None
     quantum: int | None = None
+    #: Embed a replay-state checkpoint every K chunk positions after
+    #: recording (0 = off) and replay through the checkpoint-interval
+    #: path, restoring every checkpoint and verifying every seam.
+    #: Checkpoints are built post-hoc from the logs, so the recorded
+    #: outcome itself stays bit-identical to the baseline's.
+    checkpoint_every: int = 0
     #: Must this variant's outcome digest equal the baseline's?
     bit_identical: bool = True
 
@@ -76,6 +82,7 @@ MATRIX_VARIANTS: tuple[Variant, ...] = (
     Variant("snoop-filter-off", snoop_filter=False),
     Variant("telemetry-on", telemetry=True),
     Variant("zlib-off", compress_chunk_log=False),
+    Variant("checkpointed", checkpoint_every=8),
     Variant("sb-shallow", store_buffer_entries=1, store_buffer_drain=1,
             bit_identical=False),
     Variant("sb-deep", store_buffer_entries=16, store_buffer_drain=33,

@@ -56,8 +56,54 @@ def test_manifest_count_mismatch_detected(recording, tmp_path):
     manifest = json.loads((directory / "manifest.json").read_text())
     manifest["chunk_count"] += 1
     (directory / "manifest.json").write_text(json.dumps(manifest))
+    # sections decode lazily, so the mismatch surfaces at first access
+    loaded = Recording.load(directory)
     with pytest.raises(LogFormatError):
-        Recording.load(directory)
+        _ = loaded.chunks
+
+
+def test_event_count_mismatch_detected(recording, tmp_path):
+    directory = recording.save(tmp_path / "rec")
+    manifest = json.loads((directory / "manifest.json").read_text())
+    manifest["event_count"] += 1
+    (directory / "manifest.json").write_text(json.dumps(manifest))
+    loaded = Recording.load(directory)
+    with pytest.raises(LogFormatError):
+        _ = loaded.events
+
+
+def test_sections_load_lazily(recording, tmp_path):
+    directory = recording.save(tmp_path / "rec")
+    loaded = Recording.load(directory)
+    assert loaded.sections_loaded == {"chunks": False, "events": False,
+                                      "checkpoints": False}
+    # metadata-only surfaces force nothing
+    assert loaded.metadata == recording.metadata
+    assert loaded.config == recording.config
+    assert loaded.sections_loaded["chunks"] is False
+    _ = loaded.events
+    assert loaded.sections_loaded == {"chunks": False, "events": True,
+                                      "checkpoints": False}
+    _ = loaded.chunks
+    assert loaded.sections_loaded["chunks"] is True
+
+
+def test_metadata_access_needs_no_chunk_log(recording, tmp_path):
+    """Regression: stats/inspect paths that only read the manifest must
+    not decode (or even require) the chunk payloads."""
+    directory = recording.save(tmp_path / "rec")
+    (directory / "chunks.bin").unlink()
+    (directory / "chunks.qrz").unlink()
+    loaded = Recording.load(directory)
+    assert loaded.metadata["final_memory_digest"]
+    assert loaded.program.instructions == recording.program.instructions
+    with pytest.raises(LogFormatError):
+        _ = loaded.chunks  # the missing section errors only when forced
+
+
+def test_in_memory_recording_sections_are_eager(recording):
+    assert recording.sections_loaded == {"chunks": True, "events": True,
+                                         "checkpoints": True}
 
 
 def test_size_helpers(recording):

@@ -1,0 +1,95 @@
+"""The QRCK checkpoint section: delta encoding, digests, corruption."""
+
+import hashlib
+import struct
+
+import pytest
+
+from repro.errors import LogFormatError
+from repro.mrr.logfmt import (
+    CheckpointRecord,
+    _xor_bytes,
+    decode_checkpoints,
+    encode_checkpoints,
+)
+
+
+def record(position, payload):
+    return CheckpointRecord.for_payload(position, payload)
+
+
+def test_for_payload_computes_sha256():
+    rec = record(5, b"hello")
+    assert rec.digest == hashlib.sha256(b"hello").hexdigest()
+
+
+def test_empty_section_round_trips():
+    assert decode_checkpoints(encode_checkpoints([])) == []
+
+
+def test_round_trip_preserves_records():
+    records = [record(10, b"a" * 100), record(20, b"a" * 90 + b"b" * 10),
+               record(30, b"c" * 120)]
+    assert decode_checkpoints(encode_checkpoints(records)) == records
+
+
+def test_encode_sorts_by_position():
+    records = [record(30, b"x"), record(10, b"y"), record(20, b"z")]
+    decoded = decode_checkpoints(encode_checkpoints(records))
+    assert [r.position for r in decoded] == [10, 20, 30]
+
+
+def test_delta_encoding_shrinks_similar_payloads():
+    # 64 KiB of sha256-chained bytes: incompressible on its own, so any
+    # saving on the second record must come from the XOR delta
+    blocks, seed = [], b"seed"
+    for _ in range(2048):
+        seed = hashlib.sha256(seed).digest()
+        blocks.append(seed)
+    base = b"".join(blocks)
+    nearly = base[:-1] + b"\x00"
+    single = len(encode_checkpoints([record(1, base)]))
+    double = len(encode_checkpoints([record(1, base), record(2, nearly)]))
+    # the second (delta) record should cost almost nothing on top
+    assert double - single < single / 10
+
+
+def test_xor_bytes_handles_length_drift():
+    assert _xor_bytes(b"\x0f\x0f", b"\x0f") == b"\x00\x0f"
+    assert _xor_bytes(b"\x0f", b"\x0f\x0f") == b"\x00"
+    assert _xor_bytes(b"", b"abc") == b""
+    assert _xor_bytes(b"abc", b"") == b"abc"
+
+
+def test_truncated_header_rejected():
+    with pytest.raises(LogFormatError):
+        decode_checkpoints(b"QRC")
+
+
+def test_bad_magic_rejected():
+    blob = bytearray(encode_checkpoints([record(1, b"x")]))
+    blob[:4] = b"NOPE"
+    with pytest.raises(LogFormatError):
+        decode_checkpoints(bytes(blob))
+
+
+def test_truncated_payload_rejected():
+    blob = encode_checkpoints([record(1, b"x" * 500)])
+    with pytest.raises(LogFormatError):
+        decode_checkpoints(blob[:-3])
+
+
+def test_trailing_bytes_rejected():
+    blob = encode_checkpoints([record(1, b"x")])
+    with pytest.raises(LogFormatError):
+        decode_checkpoints(blob + b"junk")
+
+
+def test_corrupt_payload_fails_digest_check():
+    blob = bytearray(encode_checkpoints([record(1, b"w" * 1000)]))
+    # flip a bit inside the stored digest so the payload no longer matches
+    header = struct.calcsize("<4sBBHI")
+    digest_offset = header + struct.calcsize("<IIIB")
+    blob[digest_offset] ^= 0xFF
+    with pytest.raises(LogFormatError, match="digest mismatch"):
+        decode_checkpoints(bytes(blob))

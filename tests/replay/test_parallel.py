@@ -1,0 +1,134 @@
+"""Parallel interval replay: partitioning, seam verification, identity."""
+
+import dataclasses
+
+import pytest
+
+from repro import session, workloads
+from repro.capo.recording import Recording
+from repro.errors import ReplayDivergenceError, ReproError
+from repro.mrr.logfmt import CheckpointRecord
+from repro.replay.checkpoint import build_checkpoints
+from repro.replay.parallel import plan_intervals, replay_parallel
+from repro.replay.replayer import Replayer
+
+
+@pytest.fixture(scope="module")
+def recording():
+    program, inputs = workloads.build("fft", scale=1)
+    rec = session.record(program, seed=7, input_files=inputs).recording
+    rec.checkpoints = build_checkpoints(rec, every=20)
+    return rec
+
+
+@pytest.fixture(scope="module")
+def serial_digest(recording):
+    return Replayer(recording).run().digest()
+
+
+def test_plan_intervals_covers_schedule_exactly(recording):
+    intervals = plan_intervals(recording)
+    assert intervals[0].start == 0
+    assert intervals[-1].end == len(recording.chunks)
+    assert intervals[-1].expected_digest is None
+    for left, right in zip(intervals, intervals[1:]):
+        assert left.end == right.start
+        assert left.expected_digest is not None
+
+
+def test_plan_intervals_without_checkpoints_is_one_interval():
+    program, inputs = workloads.build("counter", threads=2)
+    rec = session.record(program, seed=3, input_files=inputs).recording
+    intervals = plan_intervals(rec)
+    assert len(intervals) == 1
+    assert (intervals[0].start, intervals[0].end) == (0, len(rec.chunks))
+
+
+def test_serial_interval_path_matches_plain_replay(recording, serial_digest):
+    result, report = replay_parallel(recording=recording, jobs=1)
+    assert result.digest() == serial_digest
+    assert report.jobs == 1
+    assert report.seams_verified == len(report.intervals) - 1
+    assert sum(o.units for o in report.intervals) == result.stats.units
+
+
+def test_pool_replay_matches_serial(recording, serial_digest):
+    result, report = replay_parallel(recording=recording, jobs=4)
+    assert result.digest() == serial_digest
+    assert report.jobs > 1
+    assert report.seams_verified == len(report.intervals) - 1
+
+
+def test_jobs_capped_to_interval_count(recording):
+    _result, report = replay_parallel(recording=recording, jobs=64)
+    assert report.jobs <= len(report.intervals)
+
+
+def test_no_checkpoints_degrades_to_serial(serial_digest):
+    program, inputs = workloads.build("fft", scale=1)
+    rec = session.record(program, seed=7, input_files=inputs).recording
+    result, report = replay_parallel(recording=rec, jobs=4)
+    assert result.digest() == serial_digest
+    assert len(report.intervals) == 1
+    assert report.seams_verified == 0
+
+
+def test_replay_from_saved_bundle(recording, serial_digest, tmp_path):
+    directory = recording.save(tmp_path / "rec")
+    result, _report = replay_parallel(directory=directory, jobs=2)
+    assert result.digest() == serial_digest
+
+
+def test_session_replay_recording_jobs(recording, serial_digest):
+    result = session.replay_recording(recording, jobs=3)
+    assert result.digest() == serial_digest
+
+
+def test_tampered_seam_digest_detected(recording):
+    """Corrupting a checkpoint's recorded digest must fail the seam check,
+    not silently stitch a wrong result."""
+    tampered = [
+        dataclasses.replace(record, digest="0" * 64)
+        if index == 1 else record
+        for index, record in enumerate(recording.checkpoints)]
+    broken = Recording(config=recording.config, program=recording.program,
+                       chunks=recording.chunks, events=recording.events,
+                       metadata=recording.metadata, checkpoints=tampered)
+    with pytest.raises(ReplayDivergenceError, match="seam"):
+        replay_parallel(recording=broken, jobs=1)
+
+
+def test_tampered_checkpoint_payload_detected(recording):
+    """Corrupting a checkpoint's memory image (with a recomputed digest,
+    so the log layer accepts it) must be caught at the next seam, never
+    stitched into a wrong result."""
+    import struct
+    victim = recording.checkpoints[1]
+    # flip the byte at physical address 0: no program touches it, so the
+    # corruption survives to the next seam where the digest must differ
+    (header_len,) = struct.unpack_from("<I", victim.payload, 0)
+    memory_start = 4 + header_len
+    corrupt = bytearray(victim.payload)
+    corrupt[memory_start] ^= 0xFF
+    tampered = [
+        CheckpointRecord.for_payload(victim.position, bytes(corrupt))
+        if index == 1 else record
+        for index, record in enumerate(recording.checkpoints)]
+    broken = Recording(config=recording.config, program=recording.program,
+                       chunks=recording.chunks, events=recording.events,
+                       metadata=recording.metadata, checkpoints=tampered)
+    with pytest.raises(ReplayDivergenceError, match="seam"):
+        replay_parallel(recording=broken, jobs=1)
+
+
+def test_missing_source_rejected():
+    with pytest.raises(ReproError):
+        replay_parallel()
+
+
+def test_report_speedup_bound(recording):
+    _result, report = replay_parallel(recording=recording, jobs=1)
+    assert report.speedup_bound >= 1.0
+    largest = max(o.units for o in report.intervals)
+    total = sum(o.units for o in report.intervals)
+    assert report.speedup_bound == pytest.approx(total / largest)

@@ -66,10 +66,7 @@ def test_replay_is_idempotent(recorded):
 
 
 def _mutate(recording, **changes):
-    clone = dataclasses.replace(recording)
-    for key, value in changes.items():
-        setattr(clone, key, value)
-    return clone
+    return recording.replace(**changes)
 
 
 def test_dropped_chunk_detected(recorded):

@@ -27,11 +27,17 @@ def test_history_schema_stable_and_digests_reproducible(tmp_path, capsys):
     for old, new in zip(first["results"], second["results"]):
         assert old["bench"] == new["bench"]
         # identical seeds => identical digests, units, cycles and chunks
-        for key in ("digest", "units", "cycles", "chunks", "scale", "seed"):
+        for key in ("digest", "units", "cycles", "chunks", "scale", "seed",
+                    "replay_digest", "replay_checkpoints"):
             assert old[key] == new[key]
         assert set(new) == {"bench", "workload", "scale", "seed", "units",
                             "cycles", "chunks", "digest", "wall_s",
-                            "rate_units_per_s"}
+                            "rate_units_per_s", "replay_wall_s",
+                            "replay_rate_units_per_s", "replay_digest",
+                            "replay_checkpoints", "replay_jobs",
+                            "replay_parallel_wall_s", "replay_speedup",
+                            "replay_speedup_bound"}
+        assert new["replay_checkpoints"] > 0
     # table printed, one line per bench plus the history footer
     lines = capsys.readouterr().out.strip().splitlines()
     assert any("history:" in line for line in lines)
