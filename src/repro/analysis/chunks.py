@@ -15,6 +15,49 @@ from ..mrr.chunk import ChunkEntry, Reason
 
 
 @dataclass(frozen=True)
+class ScheduledChunk:
+    """One chunk placed in the global replay schedule.
+
+    ``index`` is the chunk-schedule position (what ``inspect --at`` and
+    checkpoints address); ``thread_index`` is the chunk's ordinal within
+    its own R-thread (what input events' ``chunk_seq`` counts).
+    """
+
+    index: int
+    thread_index: int
+    chunk: ChunkEntry
+
+
+def iter_schedule(chunks: Sequence[ChunkEntry]) -> list[ScheduledChunk]:
+    """The chunk log in replay order, with both coordinate systems.
+
+    This is the single chunk-walk used by the timeline renderer, the
+    happens-before builder and the race detector; the ordering matches
+    :func:`repro.replay.schedule.build_schedule` exactly (sorted by
+    ``(timestamp, rthread)``).
+    """
+    ordered = sorted(chunks, key=lambda chunk: chunk.sort_key)
+    counters: Counter[int] = Counter()
+    out = []
+    for index, chunk in enumerate(ordered):
+        out.append(ScheduledChunk(index, counters[chunk.rthread], chunk))
+        counters[chunk.rthread] += 1
+    return out
+
+
+def timestamp_bounds(chunks: Sequence[ChunkEntry]) -> tuple[int, int]:
+    """(first, last) chunk timestamp of a non-empty log."""
+    first = min(chunk.timestamp for chunk in chunks)
+    last = max(chunk.timestamp for chunk in chunks)
+    return first, last
+
+
+def bucket_index(timestamp: int, first: int, span: int, width: int) -> int:
+    """Map a timestamp onto a ``width``-column axis starting at ``first``."""
+    return min(width - 1, (timestamp - first) * width // max(1, span))
+
+
+@dataclass(frozen=True)
 class ChunkSizeStats:
     count: int
     total_instructions: int

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from ..capo.recording import Recording
 from ..mrr.chunk import ChunkEntry, Reason
+from .chunks import bucket_index, iter_schedule, timestamp_bounds
 
 _GLYPHS = {
     Reason.RAW: "C",
@@ -40,14 +41,13 @@ def render_timeline(chunks: list[ChunkEntry], width: int = 72) -> str:
         return "(empty chunk log)"
     if width < 8:
         raise ValueError("timeline width must be at least 8 columns")
-    first = min(chunk.timestamp for chunk in chunks)
-    last = max(chunk.timestamp for chunk in chunks)
+    first, last = timestamp_bounds(chunks)
     span = max(1, last - first + 1)
     rthreads = sorted({chunk.rthread for chunk in chunks})
 
     rows = {rthread: ["."] * width for rthread in rthreads}
     for chunk in chunks:
-        bucket = min(width - 1, (chunk.timestamp - first) * width // span)
+        bucket = bucket_index(chunk.timestamp, first, span, width)
         glyph = _GLYPHS[chunk.reason]
         current = rows[chunk.rthread][bucket]
         if _PRIORITY[glyph] > _PRIORITY[current]:
@@ -73,14 +73,15 @@ def interleaving_window(chunks: list[ChunkEntry], center_index: int,
                         radius: int = 5) -> str:
     """A detailed listing of the schedule around one chunk (for zooming in
     on what the timeline shows)."""
-    ordered = sorted(chunks, key=lambda chunk: chunk.sort_key)
+    schedule = iter_schedule(chunks)
     lines = []
     lo = max(0, center_index - radius)
-    hi = min(len(ordered), center_index + radius + 1)
-    for index in range(lo, hi):
-        chunk = ordered[index]
-        marker = "->" if index == center_index else "  "
+    hi = min(len(schedule), center_index + radius + 1)
+    for scheduled in schedule[lo:hi]:
+        chunk = scheduled.chunk
+        marker = "->" if scheduled.index == center_index else "  "
         lines.append(
-            f"{marker} [{index:5d}] ts={chunk.timestamp:<8d} t{chunk.rthread} "
-            f"{chunk.reason:<10s} icount={chunk.icount:<6d} rsw={chunk.rsw}")
+            f"{marker} [{scheduled.index:5d}] ts={chunk.timestamp:<8d} "
+            f"t{chunk.rthread} {chunk.reason:<10s} "
+            f"icount={chunk.icount:<6d} rsw={chunk.rsw}")
     return "\n".join(lines)

@@ -13,8 +13,10 @@ Subcommands::
     quickrec inspect /tmp/rec --at 100    # thread states at a position
     quickrec roundtrip fft radix          # record, replay, verify in memory
     quickrec overhead fft --seed 3        # native / hw / full cycle compare
-    quickrec info /tmp/rec                # recording summary
+    quickrec info /tmp/rec                # recording summary (--json too)
     quickrec timeline /tmp/rec            # per-thread interleaving timeline
+    quickrec analyze /tmp/rec             # HB graph + data-race forensics
+    quickrec analyze /tmp/rec --at 40 --until 120 --trace races.json
     quickrec debug /tmp/rec --watch counter   # replay until a word changes
     quickrec bench-all --quick            # simulation-rate perf trajectory
 
@@ -26,7 +28,9 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
+from pathlib import Path
 
 from . import __version__, session, workloads
 from .analysis import chunks as chunk_analysis
@@ -108,6 +112,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     telemetry = outcome.telemetry
     if not args.no_replay:
         session.replay_recording(outcome.recording, telemetry=telemetry)
+    if args.json:
+        print(json.dumps(telemetry.snapshot(), indent=2, sort_keys=True))
+        return 0
     print(render_metrics(telemetry.snapshot()))
     if args.trace:
         telemetry.tracer.save(args.trace)
@@ -205,7 +212,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
     stats = chunk_analysis.chunk_size_stats(recording.chunks)
     breakdown = chunk_analysis.termination_breakdown(recording.chunks,
                                                      group_conflicts=True)
-    print(render_kv({
+    summary = {
         "program": recording.program.name,
         "rthreads": len(recording.rthreads()),
         "chunks": stats.count,
@@ -217,10 +224,43 @@ def _cmd_info(args: argparse.Namespace) -> int:
         "input log bytes": recording.input_log_bytes(),
         "checkpoints": len(recording.checkpoints),
         "checkpoint section bytes": recording.checkpoint_log_bytes(),
-    }, title=f"recording at {args.directory}"))
+    }
+    if args.json:
+        print(json.dumps({"summary": summary,
+                          "terminations": dict(breakdown)},
+                         indent=2, sort_keys=True))
+        return 0
+    print(render_kv(summary, title=f"recording at {args.directory}"))
     print(render_table(("reason", "fraction"),
                        [(reason, frac) for reason, frac in breakdown.items()],
                        title="chunk terminations"))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis.timeline import render_timeline
+    from .forensics import analyze_recording, export_trace, render_race_report
+
+    recording = Recording.load(args.directory)
+    report, graph = analyze_recording(
+        recording, start=args.at, until=args.until,
+        directory=args.directory, max_races_per_address=args.max_races)
+    print(render_race_report(report))
+    start, until = report.window
+    window_chunks = [sc.chunk for sc in graph.schedule[start:until]]
+    if window_chunks:
+        print()
+        print(render_timeline(window_chunks, width=args.width))
+    if args.json:
+        Path(args.json).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.json).write_text(json.dumps(report.as_dict(), indent=2))
+        print(f"\njson report written to {args.json}")
+    if args.trace:
+        tracer = export_trace(recording, report=report, graph=graph,
+                              start=start, until=until)
+        tracer.save(args.trace)
+        print(f"trace written to {args.trace} "
+              f"({len(tracer)} events; open in Perfetto)")
     return 0
 
 
@@ -400,6 +440,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="telemetry sampling period (default 64)")
     p_stats.add_argument("--no-replay", action="store_true",
                          help="skip the replay pass (record-side metrics only)")
+    p_stats.add_argument("--json", action="store_true",
+                         help="print the metrics snapshot as JSON instead "
+                              "of tables")
     _add_workload_args(p_stats)
     p_stats.set_defaults(fn=_cmd_stats)
 
@@ -428,7 +471,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_info = sub.add_parser("info", help="summarize a saved recording")
     p_info.add_argument("directory")
+    p_info.add_argument("--json", action="store_true",
+                        help="print the summary as JSON instead of tables")
     p_info.set_defaults(fn=_cmd_info)
+
+    p_analyze = sub.add_parser(
+        "analyze", help="race forensics: replay with shadowed memory, "
+                        "report HB-concurrent conflicting accesses")
+    p_analyze.add_argument("directory")
+    p_analyze.add_argument("--at", type=int, default=0, metavar="CHUNK",
+                           help="window start (chunk-schedule position; "
+                                "seeks via embedded checkpoints)")
+    p_analyze.add_argument("--until", type=int, default=None, metavar="CHUNK",
+                           help="window end, exclusive (default: end of log)")
+    p_analyze.add_argument("--json", default=None, metavar="PATH",
+                           help="also write the structured report as JSON")
+    p_analyze.add_argument("--trace", default=None, metavar="PATH",
+                           help="also write a Chrome trace-event JSON file "
+                                "of the schedule with race markers "
+                                "(open in Perfetto)")
+    p_analyze.add_argument("--width", type=int, default=72,
+                           help="timeline width in columns (default 72)")
+    p_analyze.add_argument("--max-races", type=int, default=16,
+                           metavar="N",
+                           help="cap reported races per word (default 16)")
+    p_analyze.set_defaults(fn=_cmd_analyze)
 
     p_inspect = sub.add_parser(
         "inspect", help="thread states at a chunk position (O(interval) "

@@ -1,0 +1,42 @@
+"""Race forensics: happens-before analysis of recorded executions.
+
+The chunk log totally orders inter-thread communication, which makes a
+recording *inspectable*: this package rebuilds the happens-before
+relation the recorded program actually established (program order plus
+kernel synchronization plus atomic-word chains), replays the recording
+while shadowing every memory access, and reports the conflicting access
+pairs that no synchronization ordered — true data races, each with the
+two chunks, R-threads (the recorded core contexts), PCs and a
+copy-pasteable ``quickrec inspect --at`` repro command.
+
+Entry points:
+
+- :func:`analyze_recording` — the full pipeline behind ``quickrec
+  analyze`` (HB graph + shadow replay + race report);
+- :func:`detect_races` — just the detector, optionally scoped to a
+  checkpoint-bounded ``[start, until)`` chunk window;
+- :func:`build_hb_graph` — the chunk-granularity HB graph alone;
+- :func:`export_trace` — Chrome trace-event export of the schedule and
+  the races (opens directly in Perfetto).
+"""
+
+from .hb import (  # noqa: F401
+    EDGE_FUTEX,
+    EDGE_PROGRAM,
+    EDGE_SIGNAL,
+    EDGE_SPAWN,
+    HBGraph,
+    SyncLink,
+    build_hb_graph,
+    pair_kernel_sync,
+)
+from .perfetto import export_trace  # noqa: F401
+from .races import (  # noqa: F401
+    Access,
+    Race,
+    RaceReport,
+    analyze_recording,
+    detect_races,
+)
+from .render import render_race_report, symbolize  # noqa: F401
+from .shadow import ShadowPort  # noqa: F401

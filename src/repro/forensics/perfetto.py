@@ -1,0 +1,105 @@
+"""Perfetto / Chrome trace-event export of a recorded schedule.
+
+Reuses :class:`repro.telemetry.tracer.Tracer` so the analyze trace is
+byte-compatible with the simulator's own telemetry traces and loads in
+Perfetto or ``chrome://tracing`` unchanged. The time axis is the
+recording's global (Lamport) timestamp — one trace microsecond per
+timestamp tick; rows are R-threads.
+
+Emitted tracks:
+
+- per R-thread, one ``X`` span per chunk (``chunk:<reason>``) lasting
+  until the thread's next chunk (timestamps are strictly increasing per
+  thread, so spans never overlap);
+- per race, an instant (``i``) marker on each participating thread at
+  that access's chunk timestamp, carrying the address/symbol and the
+  partner's coordinates;
+- a ``races`` counter track accumulating detected races over trace time;
+- thread-name metadata rows.
+"""
+
+from __future__ import annotations
+
+from ..analysis.chunks import iter_schedule
+from ..capo.recording import Recording
+from ..telemetry.tracer import Tracer
+
+
+class _Clock:
+    """A settable clock for the tracer: trace time is recording time."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def __call__(self) -> int:
+        return self.value
+
+
+def export_trace(recording: Recording, report=None, graph=None,
+                 start: int = 0, until: int | None = None) -> Tracer:
+    """Build a trace of the chunk schedule (optionally annotated with a
+    race report and HB graph) and return the :class:`Tracer`."""
+    schedule = iter_schedule(recording.chunks)
+    total = len(schedule)
+    start = max(0, start)
+    until = total if until is None else max(start, min(until, total))
+    window = schedule[start:until]
+
+    clock = _Clock()
+    tracer = Tracer(pid=0, clock=clock)
+    for rthread in sorted({sc.chunk.rthread for sc in window}):
+        tracer.thread_name(rthread, f"rthread {rthread}")
+
+    # Next chunk timestamp per thread bounds each span's duration.
+    next_ts: dict[int, list[int]] = {}
+    for scheduled in reversed(window):
+        next_ts.setdefault(scheduled.chunk.rthread, []).append(
+            scheduled.chunk.timestamp)
+    cursor = {rthread: len(stack) - 1 for rthread, stack in next_ts.items()}
+
+    sync_dsts = {}
+    if graph is not None:
+        for edge in graph.sync_edges:
+            sync_dsts.setdefault(edge.dst, []).append(edge.kind)
+
+    for scheduled in window:
+        chunk = scheduled.chunk
+        stack = next_ts[chunk.rthread]
+        index = cursor[chunk.rthread]
+        cursor[chunk.rthread] = index - 1
+        end = stack[index - 1] if index > 0 else chunk.timestamp + 1
+        clock.value = chunk.timestamp
+        span_start = tracer.now()
+        clock.value = max(end, chunk.timestamp + 1)
+        args = {
+            "chunk": scheduled.index,
+            "thread_chunk": scheduled.thread_index,
+            "icount": chunk.icount,
+            "memops": chunk.memops,
+            "rsw": chunk.rsw,
+        }
+        kinds = sync_dsts.get(scheduled.index)
+        if kinds:
+            args["sync_in"] = ",".join(kinds)
+        tracer.complete(f"chunk:{chunk.reason}", span_start, cat="forensics",
+                        tid=chunk.rthread, args=args)
+
+    if report is not None:
+        count = 0
+        for number, race in enumerate(report.races, start=1):
+            where = race.symbol or hex(race.address)
+            for access, other in ((race.first, race.second),
+                                  (race.second, race.first)):
+                clock.value = access.timestamp
+                tracer.instant(
+                    f"race:{where}", cat="race", tid=access.rthread,
+                    args={"race": number, "kind": access.kind,
+                          "address": hex(race.address),
+                          "partner_chunk": other.chunk_index,
+                          "partner_thread": other.rthread})
+            count += 1
+            clock.value = max(race.first.timestamp, race.second.timestamp)
+            tracer.counter("races", {"detected": count}, cat="race")
+    return tracer

@@ -1,0 +1,73 @@
+"""Human-readable rendering of race reports.
+
+The text report leads with the verdict (race count), then one block per
+race: the symbolized address, both accesses in chunk/thread/PC
+coordinates, and a copy-pasteable ``quickrec inspect --at`` command that
+lands the replayer exactly at the racing chunk for register/memory
+inspection.
+"""
+
+from __future__ import annotations
+
+from ..analysis.report import render_kv, render_table
+from ..isa.program import Program
+
+# A data symbol "covers" addresses up to this far past its base when no
+# closer symbol follows (arrays are registered by their base word).
+SYMBOL_SPAN = 4096
+
+
+def symbolize(program: Program, addr: int) -> str | None:
+    """``name+offset`` for the nearest data symbol at or below ``addr``."""
+    best_name, best_base = None, None
+    for name, base in program.symbols.items():
+        if base <= addr and (best_base is None or base > best_base):
+            best_name, best_base = name, base
+    if best_name is None or addr - best_base >= SYMBOL_SPAN:
+        return None
+    offset = addr - best_base
+    return best_name if offset == 0 else f"{best_name}+{offset}"
+
+
+def _access_lines(label: str, access, directory: str | None) -> list[str]:
+    lines = [f"  {label}: {access.kind:<5s} chunk {access.chunk_index} "
+             f"t{access.rthread} pc={access.pc} ts={access.timestamp}"]
+    if directory:
+        lines.append(f"         quickrec inspect {directory} "
+                     f"--at {access.chunk_index}")
+    return lines
+
+
+def render_race_report(report) -> str:
+    """Render a :class:`~repro.forensics.races.RaceReport` as text."""
+    header = {
+        "program": report.program,
+        "window": f"[{report.window[0]}, {report.window[1]}) "
+                  f"of {report.total_chunks} chunks",
+        "accesses shadowed": report.stats.get("accesses", 0),
+        "sync words": len(report.sync_words),
+        "data races": len(report.races),
+    }
+    if report.dropped_races:
+        header["dropped (per-word cap)"] = report.dropped_races
+    parts = [render_kv(header, title="race forensics")]
+
+    if report.hb:
+        edges = report.hb.get("edges", {})
+        rows = [(kind, count) for kind, count in sorted(edges.items())]
+        parts.append(render_table(("hb edge kind", "count"), rows,
+                                  title="happens-before graph"))
+
+    if not report.races:
+        parts.append("no data races detected")
+    for number, race in enumerate(report.races, start=1):
+        where = race.symbol or "?"
+        lines = [f"race #{number}: {where} (addr {hex(race.address)})"]
+        lines += _access_lines("first ", race.first, report.directory)
+        lines += _access_lines("second", race.second, report.directory)
+        parts.append("\n".join(lines))
+
+    if report.anomalies:
+        parts.append("anomalies:\n" + "\n".join(
+            f"  - {anomaly}" for anomaly in report.anomalies))
+    return "\n\n".join(parts)

@@ -1,0 +1,60 @@
+"""Shadow memory port: observe every replayed access without touching it.
+
+The replayer gives each thread's engine a :class:`~repro.replay.pending.
+ReplayPort`; the detector wraps it with a :class:`ShadowPort` that
+reports ``(pc, addr, size, write?, atomic?)`` to a sink and forwards the
+operation unchanged. ``engine.pc`` still points at the executing
+instruction when its memory operations run, so the report carries the
+access's program counter.
+
+Instrumentation covers exactly the accesses the *program* makes (loads,
+stores, atomics, ``rep`` string ops, stack traffic). Kernel-mediated
+copies — read()/write() payload movement applied at chunk boundaries —
+bypass the port by design: the input log already totally orders them, so
+they cannot race.
+"""
+
+from __future__ import annotations
+
+
+class AccessSink:
+    """Interface the detector implements; a no-op base for light passes."""
+
+    def on_access(self, rthread: int, pc: int, addr: int, size: int,
+                  is_write: bool, is_atomic: bool) -> None:
+        raise NotImplementedError
+
+
+class ShadowPort:
+    """Memory-port decorator: report to the sink, then forward."""
+
+    __slots__ = ("_inner", "_engine", "_rthread", "_sink")
+
+    def __init__(self, inner, engine, rthread: int, sink: AccessSink):
+        self._inner = inner
+        self._engine = engine
+        self._rthread = rthread
+        self._sink = sink
+
+    def load(self, addr: int, size: int) -> int:
+        self._sink.on_access(self._rthread, self._engine.pc, addr, size,
+                             False, False)
+        return self._inner.load(addr, size)
+
+    def store(self, addr: int, size: int, value: int) -> None:
+        self._sink.on_access(self._rthread, self._engine.pc, addr, size,
+                             True, False)
+        self._inner.store(addr, size, value)
+
+    def fence(self) -> None:
+        self._inner.fence()
+
+    def atomic_load(self, addr: int, size: int) -> int:
+        self._sink.on_access(self._rthread, self._engine.pc, addr, size,
+                             False, True)
+        return self._inner.atomic_load(addr, size)
+
+    def atomic_store(self, addr: int, size: int, value: int) -> None:
+        self._sink.on_access(self._rthread, self._engine.pc, addr, size,
+                             True, True)
+        self._inner.atomic_store(addr, size, value)

@@ -147,6 +147,11 @@ class Replayer:
             self._events_by_thread.setdefault(event.rthread,
                                               deque()).append(event)
         self.threads: dict[int, _ReplayThread] = {}
+        # Optional (rthread, engine, port) -> port hook. Observability
+        # layers (the forensics shadow detector) set it so threads spawned
+        # mid-replay get instrumented ports; it must return an object with
+        # the ReplayPort interface and must not change replay semantics.
+        self.port_wrapper = None
         self.stats = ReplayStats()
         # (kernel seq, file name, payload) — assembled per file in kernel
         # order at finalize, since chunk-schedule order and kernel order
@@ -180,6 +185,8 @@ class Replayer:
         engine.regs[15] = sp & MASK32   # sp
         withheld = WithheldStores(self.memory)
         port = ReplayPort(self.memory, withheld, telemetry=self.telemetry)
+        if self.port_wrapper is not None:
+            port = self.port_wrapper(rthread, engine, port)
         events = self._events_by_thread.get(rthread, deque())
         self.threads[rthread] = _ReplayThread(rthread, engine, withheld,
                                               port, events)

@@ -62,8 +62,21 @@ def _case_from_dict(data: dict[str, Any]) -> FuzzCase:
     )
 
 
+def _forensic_report(case: FuzzCase) -> dict[str, Any]:
+    """Race forensics for the failing case: re-record it and analyze the
+    recording. Scoped to the window the shrinker kept when the case was
+    minimized (the whole log otherwise)."""
+    from .. import session
+    from ..forensics import analyze_recording
+
+    outcome = session.record(case.build(), seed=case.run_seed,
+                             policy=case.policy, config=case.config)
+    report, _graph = analyze_recording(outcome.recording)
+    return report.as_dict()
+
+
 def write_artifact(directory: str | Path, verdict: SeedVerdict,
-                   options: SoakOptions) -> Path:
+                   options: SoakOptions, forensics: bool = True) -> Path:
     """Write ``seed-<N>.json`` for a failing verdict; returns the path."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -93,6 +106,16 @@ def write_artifact(directory: str | Path, verdict: SeedVerdict,
             "evals": verdict.shrunk.evals,
             "exhausted": verdict.shrunk.exhausted,
         }
+    if forensics:
+        # The forensic report is best-effort context: an analyzer crash
+        # (e.g. on a divergence-inducing case) must never lose the artifact.
+        case = (verdict.shrunk.case if verdict.shrunk is not None
+                else generate_case(verdict.seed))
+        try:
+            artifact["forensics"] = _forensic_report(case)
+        except Exception as exc:  # noqa: BLE001 -- capture, don't fail triage
+            artifact["forensics"] = None
+            artifact["forensics_error"] = f"{type(exc).__name__}: {exc}"
     path = directory / f"seed-{verdict.seed}.json"
     path.write_text(json.dumps(artifact, indent=2) + "\n")
     return path

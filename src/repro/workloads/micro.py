@@ -14,6 +14,9 @@
                (maximal input-log pressure)
 ``repcopy``    rep_movs copies racing with scattered stores
                (mid-instruction chunk boundaries)
+``racer``      a seeded data race: both threads plain-RMW one shared
+               word while a spinlock correctly guards another (the
+               forensics suite's ground truth)
 =============  ==========================================================
 """
 
@@ -331,6 +334,32 @@ def _build_repcopy(threads: int, scale: int) -> tuple[Program, dict[str, bytes]]
     return h.build(), {}
 
 
+def _build_racer(threads: int, scale: int) -> tuple[Program, dict[str, bytes]]:
+    """Ground truth for ``quickrec analyze``: the ``racy`` word is updated
+    with an unsynchronized load/add/store by both threads (a textbook data
+    race), while ``guarded`` sees the same pattern under a spinlock and
+    must NOT be reported."""
+    iters = 40 * scale
+    h = WorkloadHarness(2, "racer")
+    b = h.b
+    b.word("racy", 0)
+    b.word("rlock", 0)
+    b.word("guarded", 0)
+    h.emit_main(epilogue=lambda: h.emit_checksum_write("racy", 1))
+    b.label("body")
+    with b.for_range("r6", 0, iters):
+        b.ins("load", "r7", "[racy]")
+        b.ins("add", "r7", "r7", 1)
+        b.ins("store", "[racy]", "r7")
+        b.spin_lock("rlock", scratch="r8")
+        b.ins("load", "r9", "[guarded]")
+        b.ins("add", "r9", "r9", 1)
+        b.ins("store", "[guarded]", "r9")
+        b.spin_unlock("rlock")
+    b.ins("ret")
+    return h.build(), {}
+
+
 register(Workload("counter", "atomic xadd contention on one word",
                   "micro", _build_counter))
 register(Workload("pingpong", "plain-store sharing inside one cache line",
@@ -347,3 +376,5 @@ register(Workload("iobound", "syscall-dominated file reads and writes",
                   "micro", _build_iobound))
 register(Workload("repcopy", "rep_movs bulk copies racing scattered stores",
                   "micro", _build_repcopy))
+register(Workload("racer", "seeded data race beside a correctly locked word",
+                  "micro", _build_racer, default_threads=2))

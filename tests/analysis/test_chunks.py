@@ -1,9 +1,12 @@
 from repro.analysis.chunks import (
+    bucket_index,
     chunk_size_stats,
+    iter_schedule,
     per_thread_chunks,
     rsw_stats,
     size_cdf,
     termination_breakdown,
+    timestamp_bounds,
 )
 from repro.mrr.chunk import ChunkEntry, Reason
 
@@ -90,3 +93,32 @@ def test_rsw_stats_empty():
 def test_per_thread_chunks():
     chunks = [chunk(1, rthread=1), chunk(1, rthread=2), chunk(1, rthread=1)]
     assert per_thread_chunks(chunks) == {1: 2, 2: 1}
+
+
+def test_iter_schedule_orders_and_numbers_chunks():
+    chunks = [chunk(1, rthread=2, ts=5), chunk(1, rthread=1, ts=3),
+              chunk(1, rthread=2, ts=9), chunk(1, rthread=1, ts=7)]
+    schedule = iter_schedule(chunks)
+    assert [s.index for s in schedule] == [0, 1, 2, 3]
+    assert [s.chunk.timestamp for s in schedule] == [3, 5, 7, 9]
+    # thread_index counts per-thread chunk ordinals in schedule order
+    assert [(s.chunk.rthread, s.thread_index) for s in schedule] == [
+        (1, 0), (2, 0), (1, 1), (2, 1)]
+
+
+def test_iter_schedule_breaks_timestamp_ties_by_rthread():
+    chunks = [chunk(1, rthread=3, ts=5), chunk(1, rthread=1, ts=5)]
+    assert [s.chunk.rthread for s in iter_schedule(chunks)] == [1, 3]
+
+
+def test_timestamp_bounds():
+    chunks = [chunk(1, ts=7), chunk(1, ts=3), chunk(1, ts=11)]
+    assert timestamp_bounds(chunks) == (3, 11)
+
+
+def test_bucket_index_clamps_to_width():
+    first, span, width = 0, 100, 10
+    assert bucket_index(0, first, span, width) == 0
+    assert bucket_index(50, first, span, width) == 5
+    assert bucket_index(99, first, span, width) == 9
+    assert bucket_index(10**6, first, span, width) == 9  # clamped

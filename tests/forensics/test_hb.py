@@ -1,0 +1,143 @@
+"""Happens-before graph construction and kernel sync pairing."""
+
+from repro.capo.events import (
+    EV_SIGNAL,
+    EV_SYSCALL,
+    InputEvent,
+)
+from repro.forensics import (
+    EDGE_FUTEX,
+    EDGE_PROGRAM,
+    EDGE_SIGNAL,
+    EDGE_SPAWN,
+    build_hb_graph,
+    pair_kernel_sync,
+)
+from repro.kernel.syscalls import (
+    SYS_FUTEX_WAIT,
+    SYS_FUTEX_WAKE,
+    SYS_KILL,
+    SYS_SPAWN,
+)
+from repro.mrr.chunk import ChunkEntry, Reason
+
+
+def chunk(rthread, ts, reason=Reason.RAW):
+    return ChunkEntry(rthread, ts, 1, 0, 0, reason)
+
+
+def syscall(rthread, seq, chunk_seq, sysno, value):
+    return InputEvent(rthread=rthread, seq=seq, chunk_seq=chunk_seq,
+                      kind=EV_SYSCALL, sysno=sysno, value=value)
+
+
+def signal(rthread, seq, chunk_seq, signo):
+    return InputEvent(rthread=rthread, seq=seq, chunk_seq=chunk_seq,
+                      kind=EV_SIGNAL, value=signo)
+
+
+def test_spawn_link_targets_child_first_chunk():
+    links = pair_kernel_sync([syscall(1, 0, 1, SYS_SPAWN, 2)])
+    assert len(links) == 1
+    link = links[0]
+    assert link.kind == EDGE_SPAWN
+    assert link.src == (1, 0)   # the chunk the spawn syscall ended
+    assert link.dst == (2, 0)   # the child's first chunk
+
+
+def test_futex_wake_links_each_blocked_wait_fifo():
+    events = [
+        syscall(2, 0, 1, SYS_FUTEX_WAIT, 0),   # parked
+        syscall(3, 1, 2, SYS_FUTEX_WAIT, 0),   # parked
+        syscall(1, 2, 3, SYS_FUTEX_WAKE, 2),   # wakes both
+    ]
+    links = pair_kernel_sync(events)
+    assert [link.kind for link in links] == [EDGE_FUTEX, EDGE_FUTEX]
+    # Wake chunk -> each waiter's *next* chunk, FIFO in park order.
+    assert links[0].src == (1, 2) and links[0].dst == (2, 1)
+    assert links[1].src == (1, 2) and links[1].dst == (3, 2)
+
+
+def test_futex_eagain_wait_creates_no_link():
+    events = [
+        syscall(2, 0, 1, SYS_FUTEX_WAIT, 1),   # EAGAIN: never blocked
+        syscall(1, 1, 1, SYS_FUTEX_WAKE, 1),
+    ]
+    assert pair_kernel_sync(events) == []
+
+
+def test_futex_words_separate_queues_with_args():
+    events = [
+        syscall(2, 0, 1, SYS_FUTEX_WAIT, 0),
+        syscall(1, 1, 1, SYS_FUTEX_WAKE, 1),
+    ]
+    args = {0: (0x100, 0, 0, 0), 1: (0x200, 1, 0, 0)}  # different words
+    assert pair_kernel_sync(events, args) == []
+    args[1] = (0x100, 1, 0, 0)  # same word
+    links = pair_kernel_sync(events, args)
+    assert len(links) == 1 and links[0].kind == EDGE_FUTEX
+
+
+def test_signal_link_pairs_kill_with_delivery():
+    events = [
+        syscall(1, 0, 1, SYS_KILL, 0),
+        signal(2, 1, 3, 10),
+    ]
+    links = pair_kernel_sync(events, {0: (2, 10, 0, 0)})
+    assert len(links) == 1
+    link = links[0]
+    assert link.kind == EDGE_SIGNAL
+    assert link.src == (1, 0)
+    assert link.dst == (2, 3)
+
+
+def test_signal_to_other_target_does_not_pair_precisely():
+    events = [syscall(1, 0, 1, SYS_KILL, 0), signal(3, 1, 2, 10)]
+    assert pair_kernel_sync(events, {0: (2, 10, 0, 0)}) == []
+
+
+def test_graph_program_edges_chain_each_thread():
+    chunks = [chunk(1, 1), chunk(2, 2), chunk(1, 3, Reason.EXIT),
+              chunk(2, 4, Reason.EXIT)]
+    graph = build_hb_graph(chunks)
+    program = [(e.src, e.dst) for e in graph.program_edges()]
+    assert program == [(0, 2), (1, 3)]
+    assert graph.edge_counts() == {EDGE_PROGRAM: 2}
+
+
+def test_graph_orders_through_spawn_edge():
+    # t1 runs two chunks, spawns t2 at its first boundary.
+    chunks = [chunk(1, 1, Reason.SYSCALL), chunk(2, 2),
+              chunk(1, 3, Reason.EXIT), chunk(2, 4, Reason.EXIT)]
+    events = [syscall(1, 0, 1, SYS_SPAWN, 2)]
+    graph = build_hb_graph(chunks, events)
+    assert graph.ordered(0, 1)          # spawn: parent chunk -> child
+    assert graph.ordered(0, 3)          # ... and transitively onward
+    assert not graph.ordered(1, 2)      # child does not order the parent
+    assert graph.concurrent(1, 2)
+    assert not graph.anomalies
+
+
+def test_graph_same_thread_always_ordered():
+    chunks = [chunk(1, 1), chunk(1, 2), chunk(1, 3, Reason.EXIT)]
+    graph = build_hb_graph(chunks)
+    assert graph.ordered(0, 2)
+    assert not graph.ordered(2, 0)
+    assert not graph.ordered(1, 1)
+
+
+def test_out_of_log_link_is_an_anomaly_not_a_crash():
+    chunks = [chunk(1, 1, Reason.SYSCALL), chunk(1, 2, Reason.EXIT)]
+    events = [syscall(1, 0, 1, SYS_SPAWN, 9)]  # thread 9 has no chunks
+    graph = build_hb_graph(chunks, events)
+    assert graph.anomalies
+    assert not graph.sync_edges
+
+
+def test_as_dict_shape():
+    chunks = [chunk(1, 1), chunk(1, 2, Reason.EXIT)]
+    payload = build_hb_graph(chunks).as_dict()
+    assert payload["nodes"] == 2
+    assert payload["edges"] == {EDGE_PROGRAM: 1}
+    assert payload["sync_edges"] == []
+    assert payload["anomalies"] == []

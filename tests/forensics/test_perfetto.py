@@ -1,0 +1,67 @@
+"""Chrome trace-event export of the schedule and the races."""
+
+import pytest
+
+from repro import session, workloads
+from repro.forensics import analyze_recording, export_trace
+from repro.telemetry.tracer import validate_trace
+
+
+@pytest.fixture(scope="module")
+def analyzed():
+    program, _ = workloads.build("racer")
+    recording = session.record(program, seed=11).recording
+    report, graph = analyze_recording(recording)
+    return recording, report, graph
+
+
+def test_trace_validates(analyzed):
+    recording, report, graph = analyzed
+    tracer = export_trace(recording, report=report, graph=graph)
+    assert validate_trace(tracer.export()) == []
+
+
+def test_one_span_per_chunk_plus_thread_names(analyzed):
+    recording, _report, _graph = analyzed
+    tracer = export_trace(recording)
+    spans = [e for e in tracer.events if e["ph"] == "X"]
+    assert len(spans) == len(recording.chunks)
+    names = {e["tid"] for e in tracer.events
+             if e.get("cat") == "__metadata"}
+    assert names == {chunk.rthread for chunk in recording.chunks}
+
+
+def test_spans_do_not_overlap_per_thread(analyzed):
+    recording, _report, _graph = analyzed
+    tracer = export_trace(recording)
+    by_tid = {}
+    for event in tracer.events:
+        if event["ph"] == "X":
+            by_tid.setdefault(event["tid"], []).append(
+                (event["ts"], event["dur"]))
+    for intervals in by_tid.values():
+        intervals.sort()
+        for (ts_a, dur_a), (ts_b, _dur_b) in zip(intervals, intervals[1:]):
+            assert ts_a + dur_a <= ts_b
+
+
+def test_race_markers_land_on_both_threads(analyzed):
+    recording, report, graph = analyzed
+    assert report.races
+    tracer = export_trace(recording, report=report, graph=graph)
+    markers = [e for e in tracer.events
+               if e["ph"] == "i" and e["cat"] == "race"]
+    assert len(markers) == 2 * len(report.races)
+    race = report.races[0]
+    mine = [e for e in markers if e["args"]["race"] == 1]
+    assert {e["tid"] for e in mine} == {race.first.rthread,
+                                        race.second.rthread}
+    assert all(e["name"] == "race:racy" for e in mine)
+
+
+def test_window_export_scopes_spans(analyzed):
+    recording, _report, _graph = analyzed
+    tracer = export_trace(recording, start=40, until=120)
+    spans = [e for e in tracer.events if e["ph"] == "X"]
+    assert len(spans) == 80
+    assert validate_trace(tracer.export()) == []

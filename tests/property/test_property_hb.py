@@ -1,0 +1,113 @@
+"""HB graph properties over randomized chunk logs.
+
+The load-bearing claims: every edge points forward in the replay
+schedule (the graph is acyclic by construction, so `ordered` is a strict
+partial order consistent with ``validate_schedule``'s total order), and
+the vector-clock layer answers exactly transitive reachability over
+program + sync edges.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.forensics import build_hb_graph
+from repro.forensics.hb import EDGE_FUTEX, HBEdge, HBGraph
+from repro.analysis.chunks import iter_schedule
+from repro.mrr.chunk import ChunkEntry, Reason
+from repro.replay.schedule import build_schedule, validate_schedule
+
+
+@st.composite
+def chunk_logs(draw):
+    """A recorder-shaped chunk log: 1-4 threads, strictly increasing
+    per-thread timestamps (global timestamps strictly increase and are
+    dealt to threads in order), each thread ending with an EXIT chunk."""
+    threads = draw(st.integers(min_value=1, max_value=4))
+    owners = draw(st.lists(st.integers(min_value=1, max_value=threads),
+                           min_size=threads, max_size=16))
+    owners.extend(range(1, threads + 1))  # every thread gets >= 1 chunk
+    gaps = draw(st.lists(st.integers(min_value=1, max_value=5),
+                         min_size=len(owners), max_size=len(owners)))
+    chunks, ts, seen_last = [], 0, {}
+    for owner, gap in zip(owners, gaps):
+        ts += gap
+        chunks.append(ChunkEntry(owner, ts, 1, 0, 0, Reason.RAW))
+        seen_last[owner] = len(chunks) - 1
+    # Rewrite each thread's final chunk as its EXIT.
+    for index in seen_last.values():
+        chunk = chunks[index]
+        chunks[index] = ChunkEntry(chunk.rthread, chunk.timestamp,
+                                   chunk.icount, chunk.memops, 0,
+                                   Reason.EXIT)
+    return chunks
+
+
+@st.composite
+def graphs_with_random_sync(draw):
+    chunks = draw(chunk_logs())
+    schedule = iter_schedule(chunks)
+    n = len(schedule)
+    edges = []
+    if n >= 2:
+        for _ in range(draw(st.integers(min_value=0, max_value=6))):
+            src = draw(st.integers(min_value=0, max_value=n - 2))
+            dst = draw(st.integers(min_value=src + 1, max_value=n - 1))
+            edges.append(HBEdge(src, dst, EDGE_FUTEX))
+    return chunks, HBGraph(schedule, edges)
+
+
+@settings(max_examples=60, deadline=None)
+@given(chunk_logs())
+def test_generated_logs_satisfy_recorder_invariants(chunks):
+    validate_schedule(build_schedule(chunks))
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs_with_random_sync())
+def test_every_edge_points_forward_in_the_schedule(case):
+    _chunks, graph = case
+    for edge in graph.edges():
+        assert edge.src < edge.dst  # schedule order is a topological order
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs_with_random_sync())
+def test_ordered_is_consistent_with_schedule_order(case):
+    _chunks, graph = case
+    n = len(graph)
+    for a in range(n):
+        assert not graph.ordered(a, a)
+        for b in range(a + 1, n):
+            # HB never contradicts replay's total order: b before a is
+            # impossible, so at most one direction holds.
+            assert not graph.ordered(b, a)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs_with_random_sync())
+def test_vector_clocks_equal_transitive_reachability(case):
+    _chunks, graph = case
+    n = len(graph)
+    successors = {index: set() for index in range(n)}
+    for edge in graph.edges():
+        successors[edge.src].add(edge.dst)
+    reach = [set() for _ in range(n)]
+    for src in reversed(range(n)):  # edges only go forward
+        for mid in successors[src]:
+            reach[src].add(mid)
+            reach[src] |= reach[mid]
+    for a in range(n):
+        for b in range(n):
+            assert graph.ordered(a, b) == (b in reach[a])
+
+
+@settings(max_examples=40, deadline=None)
+@given(chunk_logs())
+def test_program_order_alone_orders_exactly_same_thread_pairs(chunks):
+    graph = build_hb_graph(chunks)
+    schedule = graph.schedule
+    for a in range(len(schedule)):
+        for b in range(a + 1, len(schedule)):
+            same_thread = (schedule[a].chunk.rthread
+                           == schedule[b].chunk.rthread)
+            assert graph.ordered(a, b) == same_thread

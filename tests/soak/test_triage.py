@@ -48,6 +48,22 @@ def test_artifact_write_load_rerun(tmp_path):
     assert failures, "the minimized case must still reproduce the failure"
     assert any(f.kind == "divergence" for f in failures)
 
+    # Every failure artifact ships with a race-forensics report for the
+    # (minimized) failing case.
+    forensics = artifact["forensics"]
+    assert forensics is not None and "forensics_error" not in artifact
+    assert forensics["format"] == "quickrec-race-report"
+    assert forensics["total_chunks"] > 0
+    assert forensics["hb"]["nodes"] == forensics["total_chunks"]
+
+
+def test_artifact_forensics_can_be_disabled(tmp_path):
+    options = SoakOptions(matrix=True, inject="decode-cache")
+    verdict = run_seed(42, options)
+    path = write_artifact(tmp_path, verdict, options, forensics=False)
+    artifact = load_artifact(path)
+    assert "forensics" not in artifact
+
 
 def test_rerun_falls_back_to_original_case(tmp_path):
     options = SoakOptions(matrix=True, inject="decode-cache")

@@ -184,3 +184,78 @@ def test_stats_no_replay_skips_replay_metrics(capsys):
     out = capsys.readouterr().out
     assert "mrr.chunks_total" in out
     assert "replay.chunks" not in out
+
+
+def test_stats_json_outputs_parseable_snapshot(capsys):
+    import json
+
+    assert main(["stats", "counter", "--threads", "2", "--json"]) == 0
+    snapshot = json.loads(capsys.readouterr().out)
+    assert "mrr.chunks_total" in snapshot
+    assert "replay.chunks" in snapshot
+
+
+def test_info_json_outputs_summary_and_terminations(tmp_path, capsys):
+    import json
+
+    rec_dir = str(tmp_path / "rec")
+    assert main(["record", "counter", "--threads", "2", "-o", rec_dir]) == 0
+    capsys.readouterr()
+    assert main(["info", rec_dir, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["program"] == "counter"
+    assert payload["summary"]["chunks"] > 0
+    assert abs(sum(payload["terminations"].values()) - 1.0) < 1e-9
+
+
+def test_analyze_reports_seeded_race_with_artifacts(tmp_path, capsys):
+    import json
+
+    from repro.telemetry import validate_trace
+
+    rec_dir = str(tmp_path / "rec")
+    report_path = tmp_path / "report.json"
+    trace_path = tmp_path / "trace.json"
+    assert main(["record", "racer", "--seed", "11", "-o", rec_dir,
+                 "--checkpoint-every", "8"]) == 0
+    capsys.readouterr()
+    assert main(["analyze", rec_dir, "--json", str(report_path),
+                 "--trace", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "race forensics" in out
+    assert "race #1: racy" in out
+    assert f"quickrec inspect {rec_dir} --at" in out
+    assert "happens-before graph" in out
+    assert "timestamps" in out  # the shared timeline rendering
+
+    payload = json.loads(report_path.read_text())
+    assert payload["format"] == "quickrec-race-report"
+    assert payload["races"]
+    assert {payload["races"][0]["first"]["rthread"],
+            payload["races"][0]["second"]["rthread"]} == {1, 2}
+    document = json.loads(trace_path.read_text())
+    assert validate_trace(document) == []
+
+    # The inspect command the report prints actually runs.
+    at = payload["races"][0]["first"]["chunk_index"]
+    assert main(["inspect", rec_dir, "--at", str(at)]) == 0
+    assert "thread states" in capsys.readouterr().out
+
+
+def test_analyze_window_flags(tmp_path, capsys):
+    rec_dir = str(tmp_path / "rec")
+    assert main(["record", "racer", "--seed", "11", "-o", rec_dir,
+                 "--checkpoint-every", "8"]) == 0
+    capsys.readouterr()
+    assert main(["analyze", rec_dir, "--at", "40", "--until", "120"]) == 0
+    out = capsys.readouterr().out
+    assert "[40, 120)" in out
+
+
+def test_analyze_race_free_recording(tmp_path, capsys):
+    rec_dir = str(tmp_path / "rec")
+    assert main(["record", "locks", "--threads", "2", "-o", rec_dir]) == 0
+    capsys.readouterr()
+    assert main(["analyze", rec_dir]) == 0
+    out = capsys.readouterr().out
+    assert "no data races detected" in out
