@@ -1,0 +1,62 @@
+"""T4 — log bandwidth: v1 (row-packed) vs v2 (columnar) codecs.
+
+The rr lineage of the v2 formats: columnar delta-varint fields, a
+content-keyed pool for duplicate copy payloads, streaming zlib. This
+bench measures the size of the *same* recording serialized both ways —
+the compression ratio is the whole argument for the format — plus the
+throughput of the chunked XOR used by the checkpoint delta encoder.
+"""
+
+import time
+
+from repro.analysis.logs import log_rates
+from repro.analysis.report import render_table
+from repro.mrr.logfmt import _xor_bytes
+
+from conftest import MICROS, SPLASH, BenchSuite, publish
+
+
+def test_t4_log_bandwidth(benchmark, suite: BenchSuite):
+    def measure():
+        return [log_rates(suite.record(name), name=name)
+                for name in SPLASH + MICROS]
+
+    rates = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = []
+    for rate in rates:
+        rows.append((
+            rate.name,
+            rate.chunk_bytes_raw,
+            rate.chunk_bytes_v2,
+            f"{rate.chunk_compression_ratio:.1f}x",
+            rate.input_bytes,
+            rate.input_bytes_v2,
+            f"{rate.input_compression_ratio:.1f}x",
+        ))
+    table = render_table(
+        ("workload", "chunk v1 B", "chunk v2 B", "ratio",
+         "input v1 B", "input v2 B", "ratio"),
+        rows, title="T4: log bytes, v1 (row-packed) vs v2 (columnar)")
+    publish("t4_logbandwidth", table)
+    for rate in rates:
+        assert rate.chunk_bytes_v2 <= rate.chunk_bytes_raw
+        assert rate.input_bytes_v2 <= rate.input_bytes
+
+
+def test_t4_xor_throughput(benchmark):
+    # the checkpoint delta encoder XORs consecutive memory images; the
+    # chunked memoryview implementation must sustain large inputs
+    size = 1 << 22  # a full simulated memory image
+    data = bytes(i & 0xFF for i in range(size))
+    key = bytes((i * 7 + 3) & 0xFF for i in range(size))
+
+    result = benchmark(lambda: _xor_bytes(data, key))
+    assert len(result) == size
+    assert result[:4] == bytes(a ^ b for a, b in zip(data[:4], key[:4]))
+
+    start = time.perf_counter()
+    _xor_bytes(data, key)
+    elapsed = time.perf_counter() - start
+    publish("t4_xor", f"T4: xor {size / 1e6:.1f} MB in {elapsed * 1e3:.1f} ms"
+                      f" ({size / elapsed / 1e6:.0f} MB/s)")

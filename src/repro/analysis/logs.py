@@ -30,6 +30,10 @@ class LogRates:
     chunk_bytes_compressed: int
     input_events: int
     input_bytes: int
+    # v2 (columnar) sizes of the same logs; 0 for rates computed before the
+    # v2 codecs existed.
+    chunk_bytes_v2: int = 0
+    input_bytes_v2: int = 0
 
     @property
     def chunk_bytes_per_kiloinstruction(self) -> float:
@@ -42,6 +46,16 @@ class LogRates:
     @property
     def input_bytes_per_kiloinstruction(self) -> float:
         return 1000.0 * self.input_bytes / max(1, self.instructions)
+
+    @property
+    def input_compression_ratio(self) -> float:
+        """v1-over-v2 input-log size ratio (>1 means v2 is smaller)."""
+        return self.input_bytes / max(1, self.input_bytes_v2)
+
+    @property
+    def chunk_compression_ratio(self) -> float:
+        """v1-over-v2 chunk-log size ratio (>1 means v2 is smaller)."""
+        return self.chunk_bytes_raw / max(1, self.chunk_bytes_v2)
 
     @property
     def total_bytes(self) -> int:
@@ -68,6 +82,8 @@ class LogRates:
             "chunk_comp_B_per_ki": self.chunk_compressed_per_kiloinstruction,
             "input_B_per_ki": self.input_bytes_per_kiloinstruction,
             "total_bytes": self.total_bytes,
+            "chunk_bytes_v2": self.chunk_bytes_v2,
+            "input_bytes_v2": self.input_bytes_v2,
         }
 
 
@@ -85,6 +101,8 @@ def log_rates(outcome: RunOutcome, name: str | None = None) -> LogRates:
         chunk_bytes_compressed=recording.chunk_log_compressed_bytes(),
         input_events=len(recording.events),
         input_bytes=recording.input_log_bytes(),
+        chunk_bytes_v2=recording.chunk_log_bytes(version=2),
+        input_bytes_v2=recording.input_log_bytes(version=2),
     )
 
 

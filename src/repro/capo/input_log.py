@@ -1,17 +1,31 @@
 """Binary serialization of the input-event log.
 
-Stream layout: a header (magic ``QRIL``, version, event count) followed by
-varint-packed events. Copy payloads are stored inline (address, length,
-bytes). Sizes measured on this format feed the F3 log-rate figure's
-input-log series.
+Two on-disk formats share the ``QRIL`` magic and are negotiated by the
+header's version byte; :func:`decode_events` accepts both, so any reader
+handles any recording.
+
+**v1** — row-oriented: a header followed by varint-packed events with copy
+payloads inline. Kept bit-exact for old recordings (and as the stable
+byte stream the differential fingerprints hash).
+
+**v2** — columnar: events are stored as per-field columns (``seq`` and
+per-thread ``chunk_seq`` as zigzag-delta varints — both are monotone in
+real logs, so deltas are tiny; ``rthread``/``kind``/``sysno`` are
+low-cardinality and compress to almost nothing), copy payloads are
+deduplicated through a content-keyed pool (repeated syscall buffers are
+stored once and referenced by index), and the whole body runs through a
+streaming zlib compressor. Sizes measured on the selected format feed the
+F3 log-rate figure's input-log series.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import Sequence
 
 from ..errors import LogFormatError
+from ..mrr.varint import read_varint, unzigzag, write_varint, zigzag
 from .events import (
     InputEvent,
     KIND_CODES,
@@ -22,38 +36,32 @@ from .events import (
 
 MAGIC = b"QRIL"
 VERSION = 1
+VERSION_V2 = 2
+VERSIONS = (VERSION, VERSION_V2)
 _HEADER = struct.Struct("<4sBBHI")
+
+#: v2 header flag: body is a zlib stream.
+_V2_FLAG_ZLIB = 0x01
 
 
 def _varint(value: int) -> bytes:
-    if value < 0:
-        raise LogFormatError("varint requires non-negative value")
-    out = bytearray()
-    while True:
-        byte = value & 0x7F
-        value >>= 7
-        if value:
-            out.append(byte | 0x80)
-        else:
-            out.append(byte)
-            return bytes(out)
+    return write_varint(value)
 
 
 def _read_varint(blob: bytes, offset: int) -> tuple[int, int]:
-    result = 0
-    shift = 0
-    while True:
-        if offset >= len(blob):
-            raise LogFormatError("truncated varint in input log")
-        byte = blob[offset]
-        offset += 1
-        result |= (byte & 0x7F) << shift
-        if not byte & 0x80:
-            return result, offset
-        shift += 7
+    return read_varint(blob, offset, what="varint in input log")
 
 
-def encode_events(events: Sequence[InputEvent]) -> bytes:
+def encode_events(events: Sequence[InputEvent], version: int = VERSION) -> bytes:
+    """Serialize events in the requested format version."""
+    if version == VERSION:
+        return _encode_events_v1(events)
+    if version == VERSION_V2:
+        return _encode_events_v2(events)
+    raise LogFormatError(f"unknown input log version {version}")
+
+
+def _encode_events_v1(events: Sequence[InputEvent]) -> bytes:
     out = bytearray(_HEADER.pack(MAGIC, VERSION, 0, 0, len(events)))
     for event in events:
         out += _varint(event.rthread)
@@ -71,14 +79,65 @@ def encode_events(events: Sequence[InputEvent]) -> bytes:
     return bytes(out)
 
 
+def _encode_events_v2(events: Sequence[InputEvent]) -> bytes:
+    # Content-keyed copy-payload pool, in first-reference order.
+    pool_index: dict[bytes, int] = {}
+    pool: list[bytes] = []
+    for event in events:
+        for _addr, data in event.copies:
+            if data not in pool_index:
+                pool_index[data] = len(pool)
+                pool.append(data)
+
+    columns = [bytearray() for _ in range(9)]
+    (col_rthread, col_seq, col_chunk_seq, col_kind, col_sysno, col_value,
+     col_nondet, col_ncopies, col_copies) = columns
+    prev_seq = 0
+    prev_chunk_seq: dict[int, int] = {}
+    for event in events:
+        col_rthread += _varint(event.rthread)
+        col_seq += _varint(zigzag(event.seq - prev_seq))
+        prev_seq = event.seq
+        prev = prev_chunk_seq.get(event.rthread, 0)
+        col_chunk_seq += _varint(zigzag(event.chunk_seq - prev))
+        prev_chunk_seq[event.rthread] = event.chunk_seq
+        col_kind += _varint(KIND_CODES[event.kind])
+        col_sysno += _varint(event.sysno)
+        col_value += _varint(event.value)
+        col_nondet += _varint(NONDET_CODES[event.nondet_kind])
+        col_ncopies += _varint(len(event.copies))
+        for addr, data in event.copies:
+            col_copies += _varint(addr)
+            col_copies += _varint(pool_index[data])
+
+    compressor = zlib.compressobj(6)
+    body = bytearray()
+    body += compressor.compress(_varint(len(pool)))
+    for payload in pool:
+        body += compressor.compress(_varint(len(payload)))
+        body += compressor.compress(payload)
+    for column in columns:
+        body += compressor.compress(bytes(column))
+    body += compressor.flush()
+    return _HEADER.pack(MAGIC, VERSION_V2, _V2_FLAG_ZLIB, 0,
+                        len(events)) + bytes(body)
+
+
 def decode_events(blob: bytes) -> list[InputEvent]:
+    """Parse either format version back into events (stream order)."""
     if len(blob) < _HEADER.size:
         raise LogFormatError("input log truncated before header")
-    magic, version, _f, _r, count = _HEADER.unpack_from(blob, 0)
+    magic, version, flags, _reserved, count = _HEADER.unpack_from(blob, 0)
     if magic != MAGIC:
         raise LogFormatError(f"bad input log magic {magic!r}")
-    if version != VERSION:
-        raise LogFormatError(f"unsupported input log version {version}")
+    if version == VERSION:
+        return _decode_events_v1(blob, count)
+    if version == VERSION_V2:
+        return _decode_events_v2(blob, flags, count)
+    raise LogFormatError(f"unsupported input log version {version}")
+
+
+def _decode_events_v1(blob: bytes, count: int) -> list[InputEvent]:
     events: list[InputEvent] = []
     offset = _HEADER.size
     for _ in range(count):
@@ -108,5 +167,81 @@ def decode_events(blob: bytes) -> list[InputEvent]:
                                  nondet_kind=NONDET_KINDS[nondet_code],
                                  copies=tuple(copies)))
     if offset != len(blob):
+        raise LogFormatError("trailing bytes in input log")
+    return events
+
+
+def _decode_events_v2(blob: bytes, flags: int, count: int) -> list[InputEvent]:
+    body = blob[_HEADER.size:]
+    if flags & _V2_FLAG_ZLIB:
+        decompressor = zlib.decompressobj()
+        try:
+            body = decompressor.decompress(body)
+            body += decompressor.flush()
+        except zlib.error as exc:
+            raise LogFormatError(
+                f"corrupt input log body: {exc}") from exc
+        if not decompressor.eof:
+            raise LogFormatError("truncated input log body")
+        if decompressor.unused_data:
+            raise LogFormatError("trailing bytes after input log body")
+
+    offset = 0
+    pool_count, offset = _read_varint(body, offset)
+    pool: list[bytes] = []
+    for _ in range(pool_count):
+        length, offset = _read_varint(body, offset)
+        if offset + length > len(body):
+            raise LogFormatError("truncated copy payload in pool")
+        pool.append(body[offset:offset + length])
+        offset += length
+
+    def column(reader, n=count):
+        nonlocal offset
+        values = []
+        for _ in range(n):
+            value, offset = reader(body, offset)
+            values.append(value)
+        return values
+
+    rthreads = column(_read_varint)
+    seq_deltas = column(_read_varint)
+    chunk_deltas = column(_read_varint)
+    kind_codes = column(_read_varint)
+    sysnos = column(_read_varint)
+    values = column(_read_varint)
+    nondet_codes = column(_read_varint)
+    ncopies = column(_read_varint)
+
+    events: list[InputEvent] = []
+    prev_seq = 0
+    prev_chunk_seq: dict[int, int] = {}
+    for i in range(count):
+        kind = KIND_NAMES.get(kind_codes[i])
+        if kind is None:
+            raise LogFormatError(f"unknown event kind code {kind_codes[i]}")
+        if nondet_codes[i] >= len(NONDET_KINDS):
+            raise LogFormatError(
+                f"unknown nondet kind code {nondet_codes[i]}")
+        seq = prev_seq + unzigzag(seq_deltas[i])
+        prev_seq = seq
+        rthread = rthreads[i]
+        chunk_seq = prev_chunk_seq.get(rthread, 0) + unzigzag(chunk_deltas[i])
+        prev_chunk_seq[rthread] = chunk_seq
+        if seq < 0 or chunk_seq < 0:
+            raise LogFormatError("negative sequence number in input log")
+        copies = []
+        for _ in range(ncopies[i]):
+            addr, offset = _read_varint(body, offset)
+            index, offset = _read_varint(body, offset)
+            if index >= len(pool):
+                raise LogFormatError(
+                    f"copy payload index {index} outside pool")
+            copies.append((addr, pool[index]))
+        events.append(InputEvent(rthread=rthread, seq=seq, chunk_seq=chunk_seq,
+                                 kind=kind, sysno=sysnos[i], value=values[i],
+                                 nondet_kind=NONDET_KINDS[nondet_codes[i]],
+                                 copies=tuple(copies)))
+    if offset != len(body):
         raise LogFormatError("trailing bytes in input log")
     return events

@@ -151,15 +151,25 @@ class Recording:
 
     # -- derived sizes (the log-rate experiments) ----------------------------
 
-    def chunk_log_bytes(self) -> int:
+    def chunk_log_bytes(self, version: int | None = None) -> int:
+        """Encoded chunk-log size; ``version`` overrides the bundle's
+        configured ``capo.chunk_log_version`` (for v1-vs-v2 comparisons)."""
+        if version is None:
+            version = self.config.capo.chunk_log_version
         return len(encode_chunks(self.chunks,
-                                 with_load_hash=self.config.mrr.log_load_hash))
+                                 with_load_hash=self.config.mrr.log_load_hash,
+                                 version=version))
 
-    def chunk_log_compressed_bytes(self) -> int:
-        return len(compress_chunks(self.chunks))
+    def chunk_log_compressed_bytes(self, version: int | None = None) -> int:
+        if version is None:
+            version = self.config.capo.chunk_log_version
+        return len(compress_chunks(self.chunks, version=version))
 
-    def input_log_bytes(self) -> int:
-        return len(encode_events(self.events))
+    def input_log_bytes(self, version: int | None = None) -> int:
+        """Encoded input-log size; ``version`` as for chunk_log_bytes."""
+        if version is None:
+            version = self.config.capo.input_log_version
+        return len(encode_events(self.events, version=version))
 
     def total_log_bytes(self) -> int:
         return self.chunk_log_bytes() + self.input_log_bytes()
@@ -183,13 +193,16 @@ class Recording:
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         with_hash = self.config.mrr.log_load_hash
-        chunk_blob = encode_chunks(self.chunks, with_load_hash=with_hash)
-        input_blob = encode_events(self.events)
+        chunk_version = self.config.capo.chunk_log_version
+        input_version = self.config.capo.input_log_version
+        chunk_blob = encode_chunks(self.chunks, with_load_hash=with_hash,
+                                   version=chunk_version)
+        input_blob = encode_events(self.events, version=input_version)
         (directory / CHUNKS_NAME).write_bytes(chunk_blob)
         (directory / INPUT_NAME).write_bytes(input_blob)
         if self.config.capo.compress_chunk_log:
             (directory / CHUNKS_COMPRESSED_NAME).write_bytes(
-                compress_chunks(self.chunks))
+                compress_chunks(self.chunks, version=chunk_version))
         if self.checkpoints:
             (directory / CHECKPOINTS_NAME).write_bytes(
                 encode_checkpoints(self.checkpoints))
@@ -203,6 +216,8 @@ class Recording:
             "checkpoint_count": len(self.checkpoints),
             "chunk_log_bytes": len(chunk_blob),
             "input_log_bytes": len(input_blob),
+            "chunk_log_version": chunk_version,
+            "input_log_version": input_version,
         }
         (directory / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
         (directory / PROGRAM_NAME).write_text(json.dumps(self.program.to_dict()))

@@ -32,6 +32,7 @@ from .events import (
     EV_SIGNAL,
     EV_SIGRETURN,
     EV_SYSCALL,
+    KINDS,
     InputEvent,
 )
 from .sphere import ReplaySphere
@@ -48,6 +49,11 @@ class RSMStats:
     chunks: int = 0
     input_events: int = 0
     input_payload_bytes: int = 0
+    #: Payload bytes whose content was already in the recording's pool
+    #: (copy avoidance: stored once, referenced again).
+    input_payload_dedup_bytes: int = 0
+    #: Batched-logging buffer drains (0 on the per-event path).
+    input_batch_flushes: int = 0
     cbuf_drains: int = 0
     cycles_interpose: int = 0
     cycles_input_log: int = 0
@@ -85,6 +91,18 @@ class ReplaySphereManager:
         # telemetry object (zero-cost-when-disabled contract).
         self._tm_on = self.telemetry.enabled
         self._seq = 0
+        # rr-style batched input logging: events stage in per-thread
+        # buffers of ``input_batch_events`` entries and drain at
+        # chunk/kernel boundaries (and finalize), amortizing the per-event
+        # interposition charge across each batch. 0 = per-event path.
+        self._batch_size = config.capo.input_batch_events
+        self._batched = self._batch_size > 0
+        self._event_buffers: dict[int, list[InputEvent]] = {}
+        # Copy avoidance: content-keyed pool of copy payloads. Identical
+        # syscall buffers are stored once and shared by every event that
+        # carries them (and, in batched mode, re-copies are charged at the
+        # cheaper duplicate rate).
+        self._payload_pool: dict[bytes, bytes] = {}
         # Per-rthread stash of signature state across deschedules (the
         # virtualization path): captured at kernel entry, folded back in at
         # dispatch via BloomSignature.merge. Every deschedule is preceded by
@@ -109,6 +127,13 @@ class ReplaySphereManager:
             self._tm_events = metrics.counter("capo.input_events")
             self._tm_payload = metrics.counter("capo.input_payload_bytes")
             self._tm_threads = metrics.counter("capo.sphere_threads")
+            self._tm_flushes = metrics.counter("capo.input_batch_flushes")
+            self._tm_dedup = metrics.counter("capo.input_payload_dedup_bytes")
+            # Pre-created per-kind counters: the logging hot path indexes
+            # this dict instead of paying a registry lookup (and an f-string
+            # format) per event.
+            self._tm_kind = {kind: metrics.counter(f"capo.input_events.{kind}")
+                             for kind in KINDS}
 
     # -- wiring ---------------------------------------------------------------
 
@@ -135,6 +160,12 @@ class ReplaySphereManager:
                           + cost.cbuf_drain_per_entry * len(batch))
                 core.cycles += charge
                 self.stats.cycles_cbuf_drain += charge
+                if self._batched:
+                    # The drain interrupt already runs RSM code: piggyback
+                    # the staged input events of every thread (a chunk
+                    # boundary is a batch boundary).
+                    for rthread in list(self._event_buffers):
+                        self._flush_events(rthread, core)
             if self._tm_on:
                 self._tm_drains.inc()
                 self._tm_batch.observe(len(batch))
@@ -200,29 +231,75 @@ class ReplaySphereManager:
             cost = self.machine.cost
             core.cycles += cost.context_switch_flush
             self.stats.cycles_ctx_flush += cost.context_switch_flush
+            if self._batched:
+                # Kernel boundary: the departing thread's staged events
+                # drain with the context-switch flush.
+                self._flush_events(task.rthread, core)
 
     # -- input logging -----------------------------------------------------------------
 
-    def _log(self, event: InputEvent, core: Core | None) -> None:
-        if self.mode != MODE_FULL:
+    def _flush_events(self, rthread: int, core: Core | None) -> None:
+        """Drain one thread's staged events into the log (batched mode)."""
+        buffer = self._event_buffers.get(rthread)
+        if not buffer:
             return
-        self.events.append(event)
-        self.stats.input_events += 1
-        self.stats.input_payload_bytes += event.payload_bytes
-        cost = self.machine.cost
-        charge = cost.input_log_event + cost.input_log_per_byte * event.payload_bytes
+        self.events.extend(buffer)
+        drained = len(buffer)
+        buffer.clear()
+        charge = self.machine.cost.input_log_flush
         if core is not None:
             core.cycles += charge
         self.stats.cycles_input_log += charge
+        self.stats.input_batch_flushes += 1
+        if self._tm_on:
+            self._tm_flushes.inc()
+            self.telemetry.tracer.instant(
+                "input.flush", cat="capo", tid=rthread,
+                args={"events": drained})
+
+    def _log(self, event: InputEvent, core: Core | None,
+             fresh_payload_bytes: int | None = None) -> None:
+        if self.mode != MODE_FULL:
+            return
+        payload_bytes = event.payload_bytes
+        fresh = payload_bytes if fresh_payload_bytes is None \
+            else fresh_payload_bytes
+        stats = self.stats
+        stats.input_events += 1
+        stats.input_payload_bytes += payload_bytes
+        stats.input_payload_dedup_bytes += payload_bytes - fresh
+        cost = self.machine.cost
+        if self._batched:
+            # Stage into the per-thread buffer; the interposition charge is
+            # amortized by _flush_events. Copy avoidance: only content not
+            # already pooled pays the full per-byte copy-out.
+            buffer = self._event_buffers.get(event.rthread)
+            if buffer is None:
+                buffer = self._event_buffers[event.rthread] = []
+            buffer.append(event)
+            charge = (cost.input_log_event_batched
+                      + cost.input_log_per_byte * fresh
+                      + cost.input_log_dup_per_byte * (payload_bytes - fresh))
+            full = len(buffer) >= self._batch_size
+        else:
+            self.events.append(event)
+            charge = (cost.input_log_event
+                      + cost.input_log_per_byte * payload_bytes)
+            full = False
+        if core is not None:
+            core.cycles += charge
+        stats.cycles_input_log += charge
         if self._tm_on:
             self._tm_events.inc()
-            self._tm_payload.inc(event.payload_bytes)
-            self.telemetry.metrics.counter(
-                f"capo.input_events.{event.kind}").inc()
+            self._tm_payload.inc(payload_bytes)
+            self._tm_dedup.inc(payload_bytes - fresh)
+            self._tm_kind[event.kind].inc()
             self.telemetry.tracer.instant(
                 f"input:{event.kind}", cat="capo", tid=event.rthread,
                 args={"seq": event.seq, "chunk_seq": event.chunk_seq,
-                      "payload_bytes": event.payload_bytes})
+                      "payload_bytes": payload_bytes})
+        if full:
+            self._flush_events(event.rthread, core)
 
     def _event(self, task, kind: str, **fields) -> InputEvent:
         self._seq += 1
@@ -235,11 +312,31 @@ class ReplaySphereManager:
             return None
         return self.machine.cores[task.core_id]
 
+    def _intern_copies(self, copies) -> tuple[tuple, int]:
+        """Dedup copy payloads through the content-keyed pool.
+
+        Returns the interned copies and the number of payload bytes whose
+        content was *not* already pooled (the bytes that actually have to
+        be copied into the log)."""
+        if not copies:
+            return (), 0
+        pool = self._payload_pool
+        fresh = 0
+        out = []
+        for addr, data in copies:
+            pooled = pool.get(data)
+            if pooled is None:
+                pool[data] = pooled = data
+                fresh += len(data)
+            out.append((addr, pooled))
+        return tuple(out), fresh
+
     def log_syscall(self, task, sysno: int, retval: int,
                     copies: tuple[tuple[int, bytes], ...]) -> None:
+        copies, fresh = self._intern_copies(tuple(copies))
         event = self._event(task, EV_SYSCALL, sysno=sysno, value=retval,
-                            copies=tuple(copies))
-        self._log(event, self._core_of(task))
+                            copies=copies)
+        self._log(event, self._core_of(task), fresh_payload_bytes=fresh)
 
     def log_nondet(self, task, kind: str, value: int) -> None:
         event = self._event(task, EV_NONDET, nondet_kind=kind, value=value)
@@ -260,9 +357,17 @@ class ReplaySphereManager:
     # -- finish ---------------------------------------------------------------------------
 
     def finalize(self) -> None:
-        """Flush every CBUF (end of recording)."""
+        """Flush every CBUF and staged event buffer (end of recording)."""
         for cbuf in self._cbufs:
             cbuf.drain()
+        if self._batched:
+            for rthread in list(self._event_buffers):
+                self._flush_events(rthread, None)
+            # Buffers drain at different boundaries per thread, so the
+            # global log is flush-ordered; restore the canonical kernel
+            # sequence order (seq is globally unique and assigned in
+            # append order, so this is exactly the per-event path's log).
+            self.events.sort(key=lambda event: event.seq)
         logger.debug(
             "finalized sphere: %d chunks, %d input events, %d payload "
             "bytes, %d CBUF drains, %d software cycles",

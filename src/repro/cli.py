@@ -37,7 +37,7 @@ from .analysis import chunks as chunk_analysis
 from .perf import bench
 from .analysis.report import render_kv, render_metrics, render_table
 from .capo.recording import Recording
-from .config import DEFAULT_CONFIG, SimConfig, TelemetryConfig
+from .config import DEFAULT_CONFIG, LOG_VERSIONS, SimConfig, TelemetryConfig
 from .errors import ReproError
 
 EXIT_OK = 0
@@ -74,7 +74,14 @@ def _traced_config(args: argparse.Namespace) -> SimConfig:
 def _cmd_record(args: argparse.Namespace) -> int:
     program, inputs = workloads.build(args.workload, threads=args.threads,
                                       scale=args.scale)
-    config = _traced_config(args) if args.trace else None
+    config = _traced_config(args) if args.trace else DEFAULT_CONFIG
+    if args.log_version != 1 or args.batch:
+        config = dataclasses.replace(
+            config,
+            capo=dataclasses.replace(config.capo,
+                                     input_log_version=args.log_version,
+                                     chunk_log_version=args.log_version,
+                                     input_batch_events=args.batch))
     outcome = session.record(program, seed=args.seed, policy=args.policy,
                              input_files=inputs, config=config)
     recording = outcome.recording
@@ -198,11 +205,18 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
         program, inputs = workloads.build(name, threads=args.threads,
                                           scale=args.scale)
         result = measure_overhead(program, seed=args.seed, policy=args.policy,
-                                  input_files=inputs, name=name)
-        rows.append((name, result.native.total_cycles,
-                     100 * result.hw_overhead, 100 * result.full_overhead))
+                                  input_files=inputs, name=name,
+                                  batch_events=args.batch or None)
+        row = [name, result.native.total_cycles,
+               100 * result.hw_overhead, 100 * result.full_overhead]
+        if args.batch:
+            row.append(100 * result.batched_overhead)
+        rows.append(tuple(row))
+    headers = ["workload", "native cycles", "hw ovh %", "full ovh %"]
+    if args.batch:
+        headers.append(f"batched({args.batch}) %")
     print(render_table(
-        ("workload", "native cycles", "hw ovh %", "full ovh %"), rows,
+        tuple(headers), rows,
         title="recording overhead (cycles, identical interleavings)"))
     return 0
 
@@ -427,6 +441,14 @@ def build_parser() -> argparse.ArgumentParser:
                           help="embed a replay-state checkpoint every K "
                                "chunk-schedule positions (0 = off); "
                                "enables parallel replay and fast seek")
+    p_record.add_argument("--log-version", type=int, default=1,
+                          choices=LOG_VERSIONS, metavar="V",
+                          help="input/chunk log serialization version "
+                               "(1 = row-packed, 2 = columnar; default 1)")
+    p_record.add_argument("--batch", type=int, default=0, metavar="N",
+                          help="batch input logging in per-thread buffers "
+                               "of N events (0 = per-event; logs are "
+                               "bit-identical either way)")
     _add_workload_args(p_record)
     p_record.set_defaults(fn=_cmd_record)
 
@@ -466,6 +488,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_ovh = sub.add_parser("overhead", help="native/hw/full cycle comparison")
     p_ovh.add_argument("workloads", nargs="+")
+    p_ovh.add_argument("--batch", type=int, default=0, metavar="N",
+                       help="also measure a full-stack run with input "
+                            "logging batched N events per flush")
     _add_workload_args(p_ovh)
     p_ovh.set_defaults(fn=_cmd_overhead)
 

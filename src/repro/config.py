@@ -177,13 +177,41 @@ class KernelConfig:
         return cls(**data)
 
 
+#: Log format versions a bundle may select (``decode`` negotiates by the
+#: stream header, so every reader accepts both).
+LOG_VERSIONS = (1, 2)
+
+
 @dataclass(frozen=True)
 class CapoConfig:
-    """The Capo3 software stack (Replay Sphere Manager) behaviour."""
+    """The Capo3 software stack (Replay Sphere Manager) behaviour.
+
+    ``input_batch_events`` selects rr-style batched input logging: events
+    are staged in per-thread buffers of this many entries and drained at
+    chunk/kernel boundaries, amortizing the per-event interposition charge
+    across each batch. 0 keeps the per-event path (and its legacy cycle
+    accounting; the logs themselves are bit-identical either way).
+
+    ``input_log_version`` / ``chunk_log_version`` pick the serialization
+    format a bundle is *written* in (1 = row-packed, 2 = columnar
+    delta-varint with streaming zlib); loading negotiates from the stream
+    headers, so either setting reads both.
+    """
 
     compress_chunk_log: bool = True
     log_copy_to_user: bool = True
     drain_on_context_switch: bool = True
+    input_batch_events: int = 0
+    input_log_version: int = 1
+    chunk_log_version: int = 1
+
+    def __post_init__(self) -> None:
+        _require(self.input_batch_events >= 0,
+                 "input_batch_events must be >= 0 (0 disables batching)")
+        _require(self.input_log_version in LOG_VERSIONS,
+                 f"input_log_version must be one of {LOG_VERSIONS}")
+        _require(self.chunk_log_version in LOG_VERSIONS,
+                 f"chunk_log_version must be one of {LOG_VERSIONS}")
 
     def to_dict(self) -> dict[str, Any]:
         return dataclasses.asdict(self)

@@ -6,6 +6,14 @@ the log into per-thread streams, delta-encodes timestamps, and varint-packs
 every field; the result is optionally squeezed further with zlib. This is
 the same structure-aware approach the paper credits for its small log
 rates, and the F3 bench reports both raw and compressed figures.
+
+Two layouts share the ``QRCZ`` magic, negotiated by a flags bit:
+
+- **v1** interleaves the five fields per entry within each thread stream;
+- **v2** is columnar — within each thread stream every field is its own
+  varint column, with ``icount``/``memops`` zigzag-delta encoded against
+  the thread's previous chunk (near-monotone, so deltas are tiny and
+  runs of similar bytes deflate hard).
 """
 
 from __future__ import annotations
@@ -15,43 +23,40 @@ from typing import Sequence
 
 from ..errors import LogFormatError
 from .chunk import ChunkEntry, Reason
+from .varint import read_varint, unzigzag, write_varint, zigzag
 
 _MAGIC = b"QRCZ"
 
+VERSION = 1
+VERSION_V2 = 2
+VERSIONS = (VERSION, VERSION_V2)
+
+_FLAG_ZLIB = 0x01
+_FLAG_COLUMNAR = 0x02
+
 
 def _varint(value: int) -> bytes:
-    if value < 0:
-        raise LogFormatError("varint requires non-negative value")
-    out = bytearray()
-    while True:
-        byte = value & 0x7F
-        value >>= 7
-        if value:
-            out.append(byte | 0x80)
-        else:
-            out.append(byte)
-            return bytes(out)
+    return write_varint(value)
 
 
 def _read_varint(blob: bytes, offset: int) -> tuple[int, int]:
-    result = 0
-    shift = 0
-    while True:
-        if offset >= len(blob):
-            raise LogFormatError("truncated varint")
-        byte = blob[offset]
-        offset += 1
-        result |= (byte & 0x7F) << shift
-        if not byte & 0x80:
-            return result, offset
-        shift += 7
+    return read_varint(blob, offset, what="varint in compressed chunk log")
 
 
-def compress_chunks(entries: Sequence[ChunkEntry], use_zlib: bool = True) -> bytes:
-    """Delta+varint encode per thread, then optionally deflate."""
+def _thread_streams(entries: Sequence[ChunkEntry]) \
+        -> dict[int, list[ChunkEntry]]:
     streams: dict[int, list[ChunkEntry]] = {}
     for entry in entries:
         streams.setdefault(entry.rthread, []).append(entry)
+    return streams
+
+
+def compress_chunks(entries: Sequence[ChunkEntry], use_zlib: bool = True,
+                    version: int = VERSION) -> bytes:
+    """Delta+varint encode per thread, then optionally deflate."""
+    if version not in VERSIONS:
+        raise LogFormatError(f"unknown compressed chunk log version {version}")
+    streams = _thread_streams(entries)
 
     body = bytearray(_varint(len(streams)))
     for rthread in sorted(streams):
@@ -61,41 +66,72 @@ def compress_chunks(entries: Sequence[ChunkEntry], use_zlib: bool = True) -> byt
         stream = sorted(streams[rthread], key=lambda entry: entry.timestamp)
         body += _varint(rthread)
         body += _varint(len(stream))
-        last_ts = 0
-        for entry in stream:
-            delta = entry.timestamp - last_ts
-            if delta < 0:
-                raise LogFormatError(
-                    f"timestamps not monotone within rthread {rthread}")
-            last_ts = entry.timestamp
-            body += _varint(Reason.CODES[entry.reason])
-            body += _varint(delta)
-            body += _varint(entry.icount)
-            body += _varint(entry.memops)
-            body += _varint(entry.rsw)
+        if version == VERSION:
+            _encode_stream_v1(body, rthread, stream)
+        else:
+            _encode_stream_v2(body, rthread, stream)
 
     payload = bytes(body)
     flags = 1 if use_zlib else 0
+    if version == VERSION_V2:
+        flags |= _FLAG_COLUMNAR
     if use_zlib:
         payload = zlib.compress(payload, level=6)
     return _MAGIC + bytes([flags]) + payload
 
 
+def _encode_stream_v1(body: bytearray, rthread: int,
+                      stream: list[ChunkEntry]) -> None:
+    last_ts = 0
+    for entry in stream:
+        delta = entry.timestamp - last_ts
+        if delta < 0:
+            raise LogFormatError(
+                f"timestamps not monotone within rthread {rthread}")
+        last_ts = entry.timestamp
+        body += _varint(Reason.CODES[entry.reason])
+        body += _varint(delta)
+        body += _varint(entry.icount)
+        body += _varint(entry.memops)
+        body += _varint(entry.rsw)
+
+
+def _encode_stream_v2(body: bytearray, rthread: int,
+                      stream: list[ChunkEntry]) -> None:
+    columns = [bytearray() for _ in range(5)]
+    col_reason, col_ts, col_icount, col_memops, col_rsw = columns
+    last_ts = last_ic = last_mo = 0
+    for entry in stream:
+        delta = entry.timestamp - last_ts
+        if delta < 0:
+            raise LogFormatError(
+                f"timestamps not monotone within rthread {rthread}")
+        col_reason += _varint(Reason.CODES[entry.reason])
+        col_ts += _varint(delta)
+        col_icount += _varint(zigzag(entry.icount - last_ic))
+        col_memops += _varint(zigzag(entry.memops - last_mo))
+        col_rsw += _varint(entry.rsw)
+        last_ts, last_ic, last_mo = entry.timestamp, entry.icount, entry.memops
+    for column in columns:
+        body += column
+
+
 def decompress_chunks(blob: bytes) -> list[ChunkEntry]:
-    """Invert :func:`compress_chunks`; entries return in global
-    (timestamp, rthread) order."""
+    """Invert :func:`compress_chunks` (either layout); entries return in
+    global (timestamp, rthread) order."""
     if blob[:4] != _MAGIC:
         raise LogFormatError("bad compressed chunk log magic")
     if len(blob) < 5:
         raise LogFormatError("truncated compressed chunk log: missing flags")
     flags = blob[4]
     payload = blob[5:]
-    if flags & 1:
+    if flags & _FLAG_ZLIB:
         try:
             payload = zlib.decompress(payload)
         except zlib.error as exc:
             raise LogFormatError(
                 f"corrupt compressed chunk log payload: {exc}") from exc
+    columnar = bool(flags & _FLAG_COLUMNAR)
 
     entries: list[ChunkEntry] = []
     offset = 0
@@ -103,22 +139,66 @@ def decompress_chunks(blob: bytes) -> list[ChunkEntry]:
     for _ in range(num_streams):
         rthread, offset = _read_varint(payload, offset)
         count, offset = _read_varint(payload, offset)
-        timestamp = 0
-        for _ in range(count):
-            reason_code, offset = _read_varint(payload, offset)
-            delta, offset = _read_varint(payload, offset)
-            icount, offset = _read_varint(payload, offset)
-            memops, offset = _read_varint(payload, offset)
-            rsw, offset = _read_varint(payload, offset)
-            timestamp += delta
-            reason = Reason.NAMES.get(reason_code)
-            if reason is None:
-                raise LogFormatError(f"unknown reason code {reason_code}")
-            entries.append(ChunkEntry(rthread, timestamp, icount, memops,
-                                      rsw, reason))
+        if columnar:
+            offset = _decode_stream_v2(payload, offset, rthread, count,
+                                       entries)
+        else:
+            offset = _decode_stream_v1(payload, offset, rthread, count,
+                                       entries)
+    if offset != len(payload):
+        raise LogFormatError("trailing bytes in compressed chunk log")
     entries.sort(key=lambda entry: entry.sort_key)
     return entries
 
 
-def compressed_size(entries: Sequence[ChunkEntry], use_zlib: bool = True) -> int:
-    return len(compress_chunks(entries, use_zlib=use_zlib))
+def _decode_stream_v1(payload: bytes, offset: int, rthread: int, count: int,
+                      entries: list[ChunkEntry]) -> int:
+    timestamp = 0
+    for _ in range(count):
+        reason_code, offset = _read_varint(payload, offset)
+        delta, offset = _read_varint(payload, offset)
+        icount, offset = _read_varint(payload, offset)
+        memops, offset = _read_varint(payload, offset)
+        rsw, offset = _read_varint(payload, offset)
+        timestamp += delta
+        reason = Reason.NAMES.get(reason_code)
+        if reason is None:
+            raise LogFormatError(f"unknown reason code {reason_code}")
+        entries.append(ChunkEntry(rthread, timestamp, icount, memops,
+                                  rsw, reason))
+    return offset
+
+
+def _decode_stream_v2(payload: bytes, offset: int, rthread: int, count: int,
+                      entries: list[ChunkEntry]) -> int:
+    def column(n=count):
+        nonlocal offset
+        values = []
+        for _ in range(n):
+            value, offset = _read_varint(payload, offset)
+            values.append(value)
+        return values
+
+    reason_codes = column()
+    ts_deltas = column()
+    icount_deltas = column()
+    memops_deltas = column()
+    rsws = column()
+    timestamp = icount = memops = 0
+    for i in range(count):
+        reason = Reason.NAMES.get(reason_codes[i])
+        if reason is None:
+            raise LogFormatError(f"unknown reason code {reason_codes[i]}")
+        timestamp += ts_deltas[i]
+        icount += unzigzag(icount_deltas[i])
+        memops += unzigzag(memops_deltas[i])
+        if icount < 0 or memops < 0:
+            raise LogFormatError("negative field in compressed chunk log")
+        entries.append(ChunkEntry(rthread, timestamp, icount, memops,
+                                  rsws[i], reason))
+    return offset
+
+
+def compressed_size(entries: Sequence[ChunkEntry], use_zlib: bool = True,
+                    version: int = VERSION) -> int:
+    return len(compress_chunks(entries, use_zlib=use_zlib, version=version))

@@ -55,6 +55,11 @@ SLOWDOWN_WARN_RATIO = 0.7
 #: parallelism for 4 jobs without drowning small logs in snapshot cost.
 CHECKPOINT_INTERVALS = 16
 
+#: Per-thread buffer size for the batched leg of the overhead trajectory
+#: (rr's syscall buffer holds far more; 64 already amortizes the
+#: interposition charge to noise at these workload sizes).
+OVERHEAD_BATCH_EVENTS = 64
+
 
 def digest_of(outcome) -> str:
     """Determinism digest of a record run: memory image, chunk log, cycle
@@ -77,10 +82,15 @@ def run_bench(spec: tuple) -> dict:
     checked identical across repeats — a varying digest would mean the
     simulator itself is nondeterministic, which is blocking by definition).
     Then embeds checkpoints, times a serial replay, and saves the bundle
-    under ``bundle_dir`` for the parent's parallel-replay pass.
+    under ``bundle_dir`` for the parent's parallel-replay pass. Finally
+    runs the recording-overhead trajectory (native / hw-only / full /
+    full-batched, plus v1-vs-v2 log bandwidth) and nests it under the
+    ``overhead`` key, so the bench history tracks recorded-vs-native cost
+    alongside throughput.
     """
     from .. import session, workloads
     from ..replay.checkpoint import build_checkpoints
+    from .overhead import measure_overhead
 
     name, scale, seed, repeats, bundle_dir = spec
     workload = workloads.REGISTRY[name]
@@ -122,6 +132,10 @@ def run_bench(spec: tuple) -> dict:
     finally:
         gc.enable()
     recording.save(Path(bundle_dir) / name)
+    overhead = measure_overhead(program, seed=seed, input_files=inputs,
+                                name=name, batch_events=OVERHEAD_BATCH_EVENTS)
+    overhead_row = overhead.as_row()
+    overhead_row.pop("workload", None)
     return {
         "bench": f"{workload.category}.{name}",
         "workload": name,
@@ -138,6 +152,7 @@ def run_bench(spec: tuple) -> dict:
                                          1),
         "replay_digest": replayed.digest(),
         "replay_checkpoints": len(recording.checkpoints),
+        "overhead": overhead_row,
     }
 
 
@@ -309,6 +324,13 @@ def run(args: argparse.Namespace) -> int:
               f"(speedup {r['replay_speedup']:.2f}x, "
               f"bound {r['replay_speedup_bound']:.2f}x, "
               f"{r['replay_checkpoints']} checkpoints)")
+        o = r.get("overhead")
+        if o:
+            print(f"{'':<{width}}  overhead hw {o['hw_overhead_pct']:+.2f}% "
+                  f"full {o['full_overhead_pct']:+.2f}% "
+                  f"batched {o.get('batched_overhead_pct', 0.0):+.2f}%  "
+                  f"log bytes v1 {o.get('total_bytes_v1', 0)} "
+                  f"-> v2 {o.get('total_bytes_v2', 0)}")
     for message in warnings:
         print(f"warning: {message}", file=sys.stderr)
     for message in blocking:

@@ -6,10 +6,18 @@ recording machinery never alters execution, the three runs retire the same
 instructions under the same interleaving; the cycle deltas are pure
 recording cost. This regenerates the paper's central overhead figure (F1)
 and its breakdown (F2).
+
+An optional *fourth* run measures the batched input-logging path
+(``capo.input_batch_events > 0``): same execution, same logs, but the
+per-event interposition charge amortized rr-style across each batch. The
+native/hw/full/full-batched series is the "overhead trajectory" the bench
+history tracks, together with the v1-vs-v2 log-bandwidth figures computed
+from the full run's recording.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Any, Mapping
 
@@ -30,6 +38,7 @@ class OverheadResult:
     native: RunOutcome
     hw_only: RunOutcome
     full: RunOutcome
+    full_batched: RunOutcome | None = None
 
     def __post_init__(self) -> None:
         if not (self.native.final_memory_digest
@@ -37,6 +46,11 @@ class OverheadResult:
                 == self.full.final_memory_digest):
             raise ReproError(
                 f"{self.name}: modes diverged — recording altered execution")
+        if self.full_batched is not None and (
+                self.full_batched.final_memory_digest
+                != self.full.final_memory_digest):
+            raise ReproError(
+                f"{self.name}: batched logging altered execution")
 
     @property
     def hw_overhead(self) -> float:
@@ -47,6 +61,14 @@ class OverheadResult:
     def full_overhead(self) -> float:
         """Fractional slowdown of the full software stack vs native."""
         return self.full.total_cycles / self.native.total_cycles - 1.0
+
+    @property
+    def batched_overhead(self) -> float | None:
+        """Full-stack slowdown with batched input logging (None if the
+        batched run was not requested)."""
+        if self.full_batched is None:
+            return None
+        return self.full_batched.total_cycles / self.native.total_cycles - 1.0
 
     def software_breakdown(self) -> dict[str, float]:
         """Full-stack overhead cycles attributed to each software component,
@@ -60,13 +82,40 @@ class OverheadResult:
             "ctx_switch_flush": stats.get("cycles_ctx_flush", 0) / base,
         }
 
-    def as_row(self) -> dict[str, Any]:
+    def log_bandwidth(self) -> dict[str, Any]:
+        """v1-vs-v2 log sizes of the full run's recording, absolute and per
+        kilo-instruction. Empty when the full run kept no recording."""
+        recording = self.full.recording
+        if recording is None:
+            return {}
+        instructions = max(1, self.full.instructions)
+        input_v1 = recording.input_log_bytes(version=1)
+        input_v2 = recording.input_log_bytes(version=2)
+        chunk_v1 = recording.chunk_log_bytes(version=1)
+        chunk_v2 = recording.chunk_log_bytes(version=2)
         return {
+            "input_bytes_v1": input_v1,
+            "input_bytes_v2": input_v2,
+            "chunk_bytes_v1": chunk_v1,
+            "chunk_bytes_v2": chunk_v2,
+            "total_bytes_v1": input_v1 + chunk_v1,
+            "total_bytes_v2": input_v2 + chunk_v2,
+            "total_B_per_ki_v1": 1000.0 * (input_v1 + chunk_v1) / instructions,
+            "total_B_per_ki_v2": 1000.0 * (input_v2 + chunk_v2) / instructions,
+        }
+
+    def as_row(self) -> dict[str, Any]:
+        row = {
             "workload": self.name,
             "native_cycles": self.native.total_cycles,
             "hw_overhead_pct": 100.0 * self.hw_overhead,
             "full_overhead_pct": 100.0 * self.full_overhead,
         }
+        batched = self.batched_overhead
+        if batched is not None:
+            row["batched_overhead_pct"] = 100.0 * batched
+        row.update(self.log_bandwidth())
+        return row
 
 
 def measure_overhead(program: Program, config: SimConfig | None = None,
@@ -74,13 +123,19 @@ def measure_overhead(program: Program, config: SimConfig | None = None,
                      input_files: Mapping[str, bytes] | None = None,
                      name: str | None = None,
                      max_units: int = 200_000_000,
-                     telemetry: Telemetry | None = None) -> OverheadResult:
+                     telemetry: Telemetry | None = None,
+                     batch_events: int | None = None) -> OverheadResult:
     """Run the three-mode comparison for one program.
 
     ``telemetry`` (or ``config.telemetry.enabled``) instruments all three
     runs with the same tracer/metrics, so the trace shows the native, the
     hardware-only and the full-stack pass back to back — the raw material
     of the paper's F2 breakdown.
+
+    ``batch_events`` adds a fourth MODE_FULL run with
+    ``capo.input_batch_events`` set to that value, measuring how much of
+    the software overhead batched logging recovers. The batched run must
+    reproduce the unbatched digest exactly (it only changes accounting).
     """
     label = name or program.name
     runs: dict[str, RunOutcome] = {}
@@ -91,10 +146,25 @@ def measure_overhead(program: Program, config: SimConfig | None = None,
         runs[mode] = outcome
         logger.debug("%s: mode=%s units=%d cycles=%d", label, mode,
                      outcome.units, outcome.total_cycles)
+    full_batched = None
+    if batch_events:
+        base_config = config if config is not None else SimConfig()
+        batched_config = dataclasses.replace(
+            base_config,
+            capo=dataclasses.replace(base_config.capo,
+                                     input_batch_events=batch_events))
+        full_batched = simulate(program, config=batched_config, seed=seed,
+                                policy=policy, mode=MODE_FULL,
+                                input_files=input_files, max_units=max_units,
+                                telemetry=telemetry)
+        logger.debug("%s: mode=full(batch=%d) units=%d cycles=%d", label,
+                     batch_events, full_batched.units,
+                     full_batched.total_cycles)
     result = OverheadResult(name=label,
                             native=runs[MODE_OFF],
                             hw_only=runs[MODE_HW],
-                            full=runs[MODE_FULL])
+                            full=runs[MODE_FULL],
+                            full_batched=full_batched)
     logger.info("%s: hw overhead %.2f%%, full overhead %.2f%%", label,
                 100 * result.hw_overhead, 100 * result.full_overhead)
     run_telemetry = runs[MODE_FULL].telemetry
@@ -103,6 +173,9 @@ def measure_overhead(program: Program, config: SimConfig | None = None,
         gauges.gauge("overhead.native_cycles").set(result.native.total_cycles)
         gauges.gauge("overhead.hw_pct").set(100 * result.hw_overhead)
         gauges.gauge("overhead.full_pct").set(100 * result.full_overhead)
+        batched = result.batched_overhead
+        if batched is not None:
+            gauges.gauge("overhead.full_batched_pct").set(100 * batched)
         for component, fraction in result.software_breakdown().items():
             gauges.gauge(f"overhead.breakdown.{component}_pct").set(
                 100 * fraction)

@@ -66,3 +66,67 @@ def test_trailing_garbage_rejected():
 def test_header_too_short_rejected():
     with pytest.raises(LogFormatError):
         decode_events(b"QRIL")
+
+
+# -- v2 (columnar) format ----------------------------------------------------
+
+def test_v2_round_trip():
+    events = sample_events()
+    assert decode_events(encode_events(events, version=2)) == events
+
+
+def test_v2_empty_log():
+    assert decode_events(encode_events([], version=2)) == []
+
+
+def test_v2_header_differs_from_v1_and_negotiates():
+    events = sample_events()
+    v1 = encode_events(events)
+    v2 = encode_events(events, version=2)
+    assert v1 != v2
+    assert v1[4] == 1 and v2[4] == 2
+    assert decode_events(v1) == decode_events(v2) == events
+
+
+def test_v2_duplicate_payloads_pooled():
+    payload = b"the same page of data" * 40
+    events = [
+        InputEvent(1, seq, seq, EV_SYSCALL, sysno=3, value=len(payload),
+                   copies=((0x1000 * seq, payload),))
+        for seq in range(1, 17)
+    ]
+    v1 = encode_events(events)
+    v2 = encode_events(events, version=2)
+    # 16 copies of the payload collapse to one pool entry
+    assert len(v2) < len(v1) / 4
+    assert decode_events(v2) == events
+
+
+def test_v2_unknown_version_rejected():
+    with pytest.raises(LogFormatError):
+        encode_events([], version=3)
+    blob = bytearray(encode_events([], version=2))
+    blob[4] = 9
+    with pytest.raises(LogFormatError):
+        decode_events(bytes(blob))
+
+
+def test_v2_truncation_rejected_at_every_offset():
+    blob = encode_events(sample_events(), version=2)
+    for cut in range(len(blob)):
+        with pytest.raises(LogFormatError):
+            decode_events(blob[:cut])
+
+
+def test_v2_trailing_garbage_rejected():
+    blob = encode_events(sample_events(), version=2)
+    with pytest.raises(LogFormatError):
+        decode_events(blob + b"\x00")
+
+
+def test_unbounded_varint_rejected():
+    # regression: a 0x80 run used to spin the decoder past any length
+    # bound instead of failing fast at MAX_VARINT_BYTES
+    blob = encode_events([], version=1)[:5] + b"\x80" * 64 + b"\x01"
+    with pytest.raises(LogFormatError):
+        decode_events(blob)

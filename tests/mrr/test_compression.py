@@ -113,3 +113,49 @@ def test_corrupted_byte_never_escapes_logformat(data, use_zlib):
         decompress_chunks(bytes(blob))
     except LogFormatError:
         pass
+
+
+# -- v2 (columnar) layout ----------------------------------------------------
+
+def test_v2_round_trip_equals_sorted_original():
+    entries = make_log()
+    decoded = decompress_chunks(compress_chunks(entries, version=2))
+    assert decoded == sorted(entries, key=lambda e: e.sort_key)
+
+
+@pytest.mark.parametrize("use_zlib", [True, False])
+def test_v2_round_trip_both_zlib_modes(use_zlib):
+    entries = make_log(threads=2, per_thread=8)
+    blob = compress_chunks(entries, use_zlib=use_zlib, version=2)
+    assert decompress_chunks(blob) == sorted(entries,
+                                             key=lambda e: e.sort_key)
+
+
+def test_v2_not_larger_than_v1():
+    entries = make_log(threads=4, per_thread=200)
+    assert compressed_size(entries, version=2) <= compressed_size(entries)
+
+
+def test_v2_empty_log():
+    assert decompress_chunks(compress_chunks([], version=2)) == []
+
+
+def test_v2_unknown_version_rejected():
+    with pytest.raises(LogFormatError):
+        compress_chunks([], version=3)
+
+
+@pytest.mark.parametrize("use_zlib", [True, False])
+def test_v2_every_truncation_offset_raises_logformat(use_zlib):
+    blob = compress_chunks(make_log(threads=2, per_thread=6),
+                           use_zlib=use_zlib, version=2)
+    for cut in range(len(blob)):
+        with pytest.raises(LogFormatError):
+            decompress_chunks(blob[:cut])
+
+
+def test_unbounded_varint_rejected():
+    # regression: a 0x80 run must fail fast at MAX_VARINT_BYTES, not walk
+    # the whole payload
+    with pytest.raises(LogFormatError):
+        decompress_chunks(b"QRCZ\x00" + b"\x80" * 64 + b"\x01")

@@ -78,3 +78,68 @@ def test_unknown_reason_code_rejected():
     blob[12 + 1] = 250  # reason byte of the first entry
     with pytest.raises(LogFormatError):
         decode_chunks(bytes(blob))
+
+
+# -- v2 (columnar) format ----------------------------------------------------
+
+def test_v2_round_trip_preserves_entry_order():
+    entries = sample_entries()
+    assert decode_chunks(encode_chunks(entries, version=2)) == entries
+
+
+def test_v2_round_trip_with_load_hash():
+    entries = [ChunkEntry(1, 10, 5, 0, 0, Reason.RAW, load_hash=0xDEADBEEF),
+               ChunkEntry(2, 11, 7, 3, 1, Reason.WAW, load_hash=0x1234)]
+    decoded = decode_chunks(encode_chunks(entries, with_load_hash=True,
+                                          version=2))
+    assert decoded == entries
+    assert decoded[0].load_hash == 0xDEADBEEF
+
+
+def test_v2_empty_stream():
+    assert decode_chunks(encode_chunks([], version=2)) == []
+
+
+def test_v2_smaller_than_v1_on_regular_logs():
+    ts = 0
+    entries = []
+    for index in range(600):
+        ts += 2 + index % 3
+        entries.append(ChunkEntry(1 + index % 4, ts, 4000 + index % 9,
+                                  1000 + index % 5, index % 2,
+                                  Reason.ALL[index % len(Reason.ALL)]))
+    v1 = len(encode_chunks(entries))
+    v2 = len(encode_chunks(entries, version=2))
+    assert v2 < v1 / 2
+
+
+def test_v2_truncation_rejected_at_every_offset():
+    blob = encode_chunks(sample_entries(), version=2)
+    for cut in range(len(blob)):
+        with pytest.raises(LogFormatError):
+            decode_chunks(blob[:cut])
+
+
+def test_v2_trailing_garbage_rejected():
+    with pytest.raises(LogFormatError):
+        decode_chunks(encode_chunks(sample_entries(), version=2) + b"\x00")
+
+
+def test_unknown_version_rejected():
+    with pytest.raises(LogFormatError):
+        encode_chunks([], version=3)
+
+
+def test_xor_obfuscation_chunked_matches_bigint():
+    # the chunked memoryview XOR must agree with the reference definition
+    from repro.mrr.logfmt import _XOR_BLOCK, _xor_bytes
+
+    data = bytes(range(256)) * 600  # > 4 blocks
+    key = bytes((i * 7 + 3) & 0xFF for i in range(len(data)))
+    expected = bytes(a ^ b for a, b in zip(data, key))
+    assert _xor_bytes(data, key) == expected
+    # short key is zero-extended; empty inputs pass through
+    assert _xor_bytes(data, key[:10])[10:] == data[10:]
+    assert _xor_bytes(b"", key) == b""
+    assert _xor_bytes(data[: _XOR_BLOCK + 1], key[: _XOR_BLOCK + 1]) == \
+        expected[: _XOR_BLOCK + 1]

@@ -86,3 +86,105 @@ def test_compressed_chunk_round_trip(entries):
 @settings(max_examples=80, deadline=None)
 def test_input_log_round_trip(events):
     assert decode_events(encode_events(events)) == events
+
+
+# -- v2 (columnar) codecs ----------------------------------------------------
+
+from repro.errors import LogFormatError  # noqa: E402
+
+shared_payloads = st.sampled_from(
+    [b"", b"\x00", b"page" * 64, bytes(range(48))])
+
+dup_copies_strategy = st.lists(
+    st.tuples(u32, st.one_of(shared_payloads, st.binary(max_size=64))),
+    max_size=3).map(tuple)
+
+event_strategy_v2 = st.builds(
+    InputEvent,
+    rthread=u8,
+    seq=st.integers(min_value=0, max_value=2**40),
+    chunk_seq=st.integers(min_value=0, max_value=2**40),
+    kind=st.sampled_from(KINDS),
+    sysno=st.integers(min_value=0, max_value=64),
+    value=st.integers(min_value=0, max_value=2**64 - 1),
+    nondet_kind=st.sampled_from(NONDET_KINDS),
+    copies=dup_copies_strategy,
+)
+
+
+@given(events=st.lists(event_strategy_v2, max_size=40))
+@settings(max_examples=80, deadline=None)
+def test_input_log_v2_round_trip(events):
+    assert decode_events(encode_events(events, version=2)) == events
+
+
+@given(events=st.lists(event_strategy_v2, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_input_log_cross_version_agreement(events):
+    # both formats decode to the same event list from the same source
+    assert decode_events(encode_events(events, version=1)) == \
+        decode_events(encode_events(events, version=2))
+
+
+@given(entries=st.lists(chunk_strategy, max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_packed_chunk_v2_round_trip(entries):
+    assert decode_chunks(encode_chunks(entries, version=2)) == entries
+
+
+@given(entries=st.lists(chunk_strategy, max_size=40))
+@settings(max_examples=40, deadline=None)
+def test_packed_chunk_cross_version_agreement(entries):
+    assert decode_chunks(encode_chunks(entries, version=1)) == \
+        decode_chunks(encode_chunks(entries, version=2))
+
+
+@given(entries=st.lists(chunk_strategy, max_size=60))
+@settings(max_examples=40, deadline=None)
+def test_compressed_chunk_v2_round_trip(entries):
+    entries = make_monotone(entries)
+    decoded = decompress_chunks(compress_chunks(entries, version=2))
+    assert sorted(decoded, key=lambda e: (e.rthread, e.timestamp)) == \
+           sorted(entries, key=lambda e: (e.rthread, e.timestamp))
+
+
+@given(events=st.lists(event_strategy_v2, max_size=12), data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_input_log_v2_truncation_always_rejected(events, data):
+    blob = encode_events(events, version=2)
+    cut = data.draw(st.integers(0, len(blob) - 1))
+    try:
+        decode_events(blob[:cut])
+    except LogFormatError:
+        return
+    raise AssertionError("truncated v2 input log decoded successfully")
+
+
+@given(events=st.lists(event_strategy_v2, max_size=12), data=st.data())
+@settings(max_examples=120, deadline=None)
+def test_input_log_v2_corruption_never_escapes_logformat(events, data):
+    # a flipped byte either still decodes (landed in a value) or raises
+    # LogFormatError — never zlib.error / IndexError / ValueError
+    blob = bytearray(encode_events(events, version=2))
+    position = data.draw(st.integers(0, len(blob) - 1))
+    replacement = data.draw(
+        st.integers(0, 255).filter(lambda b: b != blob[position]))
+    blob[position] = replacement
+    try:
+        decode_events(bytes(blob))
+    except LogFormatError:
+        pass
+
+
+@given(entries=st.lists(chunk_strategy, max_size=12), data=st.data())
+@settings(max_examples=120, deadline=None)
+def test_packed_chunk_v2_corruption_never_escapes_logformat(entries, data):
+    blob = bytearray(encode_chunks(entries, version=2))
+    position = data.draw(st.integers(0, len(blob) - 1))
+    replacement = data.draw(
+        st.integers(0, 255).filter(lambda b: b != blob[position]))
+    blob[position] = replacement
+    try:
+        decode_chunks(bytes(blob))
+    except LogFormatError:
+        pass

@@ -14,7 +14,7 @@ from repro.soak import (
     run_campaign,
     run_seed,
 )
-from repro.soak.differential import run_variant
+from repro.soak.differential import outcome_fingerprint, run_variant
 from repro.telemetry import Telemetry
 from repro.workloads.fuzz import generate_case
 
@@ -41,12 +41,17 @@ def test_bit_identical_variants_share_the_baseline_digest():
         base, report = run_variant(case, BASELINE)
         assert report.ok
         expected = outcome_digest(base)
+        base_fingerprint = outcome_fingerprint(base)
         for variant in matrix_variants():
             outcome, report = run_variant(case, variant)
             assert report.ok, f"{variant.name}: {report.summary()}"
             if variant.bit_identical:
-                assert outcome_digest(outcome) == expected, \
-                    f"seed {seed}: {variant.name}"
+                fingerprint = outcome_fingerprint(outcome)
+                differing = [key for key in fingerprint
+                             if fingerprint[key] != base_fingerprint[key]
+                             and key not in variant.identical_except]
+                assert not differing, \
+                    f"seed {seed}: {variant.name} differs in {differing}"
             elif outcome_digest(outcome) != expected:
                 shape_variant_diverged = True
     # Shape-changing variants only self-verify; a tiny program may happen
@@ -105,3 +110,17 @@ def test_campaign_telemetry_counters():
     snapshot = telemetry.snapshot()
     assert snapshot["soak.seeds"] == 2
     assert "soak.failed_seeds" not in snapshot
+
+
+def test_log_variants_fold_into_capo_config():
+    log_v2 = [v for v in matrix_variants() if v.name == "log-v2"][0]
+    batched = [v for v in matrix_variants() if v.name == "log-batched"][0]
+    cfg = log_v2.apply(DEFAULT_CONFIG)
+    assert cfg.capo.input_log_version == 2
+    assert cfg.capo.chunk_log_version == 2
+    assert cfg.capo.input_batch_events == 0
+    cfg = batched.apply(DEFAULT_CONFIG)
+    assert cfg.capo.input_batch_events == 64
+    assert cfg.capo.input_log_version == 1
+    assert batched.identical_except == ("cycles",)
+    assert batched.bit_identical and log_v2.bit_identical

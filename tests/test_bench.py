@@ -36,8 +36,17 @@ def test_history_schema_stable_and_digests_reproducible(tmp_path, capsys):
                             "replay_rate_units_per_s", "replay_digest",
                             "replay_checkpoints", "replay_jobs",
                             "replay_parallel_wall_s", "replay_speedup",
-                            "replay_speedup_bound"}
+                            "replay_speedup_bound", "overhead"}
         assert new["replay_checkpoints"] > 0
+        overhead = new["overhead"]
+        # the trajectory: native cycles, three overheads, and the log
+        # bandwidth series — v2 must never lose to v1 on these workloads
+        assert overhead["native_cycles"] > 0
+        assert overhead["full_overhead_pct"] >= overhead["hw_overhead_pct"]
+        assert overhead["batched_overhead_pct"] <= \
+            overhead["full_overhead_pct"]
+        assert overhead["total_bytes_v2"] <= overhead["total_bytes_v1"]
+        assert old["overhead"] == new["overhead"]
     # table printed, one line per bench plus the history footer
     lines = capsys.readouterr().out.strip().splitlines()
     assert any("history:" in line for line in lines)
