@@ -83,6 +83,15 @@ class ReplaySphereManager:
         self.mode = mode
         self.sphere = ReplaySphere()
         self.chunk_log: list[ChunkEntry] = []
+        # Per-core chunk streams: each core's entries in emission order
+        # (strictly timestamp-monotonic per stream, since the order clock
+        # is global). Additional references only — ``chunk_log`` keeps the
+        # CBUF drain order the digests and codecs are defined over; a
+        # k-way merge of these streams reconstructs the global replay
+        # schedule without the shared log (replay.schedule.
+        # merge_core_streams).
+        self.core_chunk_logs: list[list[ChunkEntry]] = [
+            [] for _ in machine.cores]
         self.events: list[InputEvent] = []
         self.stats = RSMStats()
         self.telemetry = machine.telemetry
@@ -112,6 +121,7 @@ class ReplaySphereManager:
         # terminate-before-undispatch sequencing ever changes).
         self._virt_sigs: dict[int, tuple[BloomSignature, BloomSignature]] = {}
         self._cbufs: list[ChunkBuffer] = []
+        self.recorders: list[MemoryRaceRecorder] = []
         for core in machine.cores:
             cbuf = ChunkBuffer(config.mrr.cbuf_entries,
                                self._make_drain_handler(core))
@@ -119,6 +129,7 @@ class ReplaySphereManager:
             recorder = MemoryRaceRecorder(config.mrr, core,
                                           self._make_sink(core, cbuf),
                                           telemetry=machine.telemetry)
+            self.recorders.append(recorder)
             machine.attach_recorder(core.core_id, recorder)
         if self._tm_on:
             metrics = self.telemetry.metrics
@@ -137,14 +148,21 @@ class ReplaySphereManager:
 
     # -- wiring ---------------------------------------------------------------
 
+    def order_logs(self) -> list:
+        """Each core's :class:`~repro.mrr.orderlog.CoreOrderLog`, indexed
+        by core id."""
+        return [recorder.order_log for recorder in self.recorders]
+
     def _make_sink(self, core: Core, cbuf: ChunkBuffer):
         cost = self.machine.cost
+        core_stream = self.core_chunk_logs[core.core_id]
 
         def sink(entry: ChunkEntry) -> None:
             self.sphere.note_chunk(entry.rthread)
             self.stats.chunks += 1
             core.cycles += cost.cbuf_entry_write
             self.stats.cycles_cbuf_write += cost.cbuf_entry_write
+            core_stream.append(entry)
             cbuf.append(entry)
 
         return sink

@@ -37,7 +37,13 @@ from .analysis import chunks as chunk_analysis
 from .perf import bench
 from .analysis.report import render_kv, render_metrics, render_table
 from .capo.recording import Recording
-from .config import DEFAULT_CONFIG, LOG_VERSIONS, SimConfig, TelemetryConfig
+from .config import (
+    COHERENCE_MODELS,
+    DEFAULT_CONFIG,
+    LOG_VERSIONS,
+    SimConfig,
+    TelemetryConfig,
+)
 from .errors import ReproError
 
 EXIT_OK = 0
@@ -64,6 +70,28 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_machine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--coherence", default=None,
+                        choices=COHERENCE_MODELS,
+                        help="coherence fabric (default: snoop; directory "
+                             "is bit-identical and notifies only sharers)")
+    parser.add_argument("--cores", type=int, default=None, metavar="N",
+                        help="machine core count (default: config default)")
+
+
+def _machine_overrides(args: argparse.Namespace,
+                       config: SimConfig) -> SimConfig:
+    """Fold --coherence/--cores into ``config``."""
+    machine = config.machine
+    if getattr(args, "coherence", None) is not None:
+        machine = dataclasses.replace(machine, coherence=args.coherence)
+    if getattr(args, "cores", None) is not None:
+        machine = dataclasses.replace(machine, num_cores=args.cores)
+    if machine is not config.machine:
+        config = dataclasses.replace(config, machine=machine)
+    return config
+
+
 def _traced_config(args: argparse.Namespace) -> SimConfig:
     """The default config with telemetry switched on."""
     return dataclasses.replace(
@@ -82,6 +110,7 @@ def _cmd_record(args: argparse.Namespace) -> int:
                                      input_log_version=args.log_version,
                                      chunk_log_version=args.log_version,
                                      input_batch_events=args.batch))
+    config = _machine_overrides(args, config)
     outcome = session.record(program, seed=args.seed, policy=args.policy,
                              input_files=inputs, config=config)
     recording = outcome.recording
@@ -94,6 +123,14 @@ def _cmd_record(args: argparse.Namespace) -> int:
         "input log bytes": recording.input_log_bytes(),
         "cycles": outcome.total_cycles,
     }
+    if config.machine.coherence == "directory":
+        bus = outcome.machine_stats["bus"]
+        rows["coherence"] = "directory"
+        rows["notifies sent"] = bus["notifies_sent"]
+        rows["notifies saved vs broadcast"] = bus["notifies_saved"]
+        sharers = bus["sharer_hist"]
+        rows["sharer set sizes"] = ", ".join(
+            f"{size}:{count}" for size, count in sorted(sharers.items()))
     if args.checkpoint_every:
         session.add_checkpoints(recording, args.checkpoint_every,
                                 telemetry=outcome.telemetry)
@@ -115,7 +152,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                                       scale=args.scale)
     outcome = session.record(program, seed=args.seed, policy=args.policy,
                              input_files=inputs,
-                             config=_traced_config(args))
+                             config=_machine_overrides(
+                                 args, _traced_config(args)))
     telemetry = outcome.telemetry
     if not args.no_replay:
         session.replay_recording(outcome.recording, telemetry=telemetry)
@@ -450,6 +488,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "of N events (0 = per-event; logs are "
                                "bit-identical either way)")
     _add_workload_args(p_record)
+    _add_machine_args(p_record)
     p_record.set_defaults(fn=_cmd_record)
 
     p_stats = sub.add_parser(
@@ -466,6 +505,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the metrics snapshot as JSON instead "
                               "of tables")
     _add_workload_args(p_stats)
+    _add_machine_args(p_stats)
     p_stats.set_defaults(fn=_cmd_stats)
 
     p_replay = sub.add_parser("replay", help="replay a saved recording")

@@ -80,6 +80,15 @@ class StoreBufferConfig:
         _require(self.drain_burst >= 1, "drain_burst must be >= 1")
 
 
+#: Coherence fabrics the machine can be built with. ``snoop`` is the
+#: reference broadcast bus; ``directory`` tracks exact per-line sharer
+#: sets and notifies only them — bit-identical by construction (pinned by
+#: the lockstep suite and the soak lattice), O(sharers) per transaction.
+COHERENCE_SNOOP = "snoop"
+COHERENCE_DIRECTORY = "directory"
+COHERENCE_MODELS = (COHERENCE_SNOOP, COHERENCE_DIRECTORY)
+
+
 @dataclass(frozen=True)
 class MachineConfig:
     """The simulated QuickIA machine."""
@@ -89,12 +98,15 @@ class MachineConfig:
     cache: CacheConfig = field(default_factory=CacheConfig)
     store_buffer: StoreBufferConfig = field(default_factory=StoreBufferConfig)
     word_bytes: int = 4
+    coherence: str = COHERENCE_SNOOP
 
     def __post_init__(self) -> None:
         _require(1 <= self.num_cores <= 64, "num_cores must be in [1, 64]")
         _require(self.memory_bytes % self.cache.line_bytes == 0,
                  "memory size must be a whole number of cache lines")
         _require(self.word_bytes in (4, 8), "word_bytes must be 4 or 8")
+        _require(self.coherence in COHERENCE_MODELS,
+                 f"coherence must be one of {COHERENCE_MODELS}")
 
     def to_dict(self) -> dict[str, Any]:
         return dataclasses.asdict(self)

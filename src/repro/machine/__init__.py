@@ -16,7 +16,7 @@ withheld-store memory view.
 from .memory import PhysicalMemory
 from .store_buffer import StoreBuffer
 from .cache import MESICache
-from .bus import SnoopBus
+from .bus import DirectoryBus, SnoopBus
 from .core import Engine, OUTCOME_OK, OUTCOME_SYSCALL, OUTCOME_NONDET
 from .machine import Machine, Core
 from .interleave import (
@@ -32,6 +32,7 @@ __all__ = [
     "StoreBuffer",
     "MESICache",
     "SnoopBus",
+    "DirectoryBus",
     "Engine",
     "OUTCOME_OK",
     "OUTCOME_SYSCALL",

@@ -1,4 +1,4 @@
-"""The serializing snoop bus.
+"""The coherence fabric: a serializing snoop bus, and a directory model.
 
 Every coherence transaction (read miss, write miss, upgrade) passes through
 here, in a single global order — the simulator's equivalent of the QuickIA
@@ -10,6 +10,23 @@ front-side bus. Two kinds of agents observe transactions:
   against their signatures and may terminate their current chunk, returning
   the terminated chunk's timestamp so the requester can raise its Lamport
   clock above it.
+
+Two fabrics implement that contract (selected by ``MachineConfig.
+coherence``):
+
+- :class:`SnoopBus` — the reference broadcast fabric: every transaction
+  architecturally reaches all other agents (``num_cores - 1`` snoops),
+  with the conservative presence filter skipping the provable no-ops.
+- :class:`DirectoryBus` — a home-node directory that additionally keeps
+  the *exact* per-line sharer set (maintained on fill and eviction) and
+  notifies caches point-to-point, O(sharers) instead of O(num_cores).
+  Recorder notifications deliberately stay presence-based — see the class
+  docstring for why anything tighter would break bit-identity.
+
+The fabric also owns ``order_clock``, the globally synchronized
+chunk-timestamp source: the interconnect is the one serialization point
+every chunk termination already passes through, so the clock lives here
+rather than in a machine-global counter.
 """
 
 from __future__ import annotations
@@ -38,9 +55,25 @@ class BusStats:
     read_exclusives: int = 0
     upgrades: int = 0
     flushes: int = 0
+    #: Point-to-point agent notifications actually delivered. The snooping
+    #: fabric broadcasts, so here this equals ``broadcast_snoops``; the
+    #: directory delivers O(sharers) and the difference lands in
+    #: ``notifies_saved``.
+    notifies_sent: int = 0
+    #: What a broadcast fabric would have delivered: (num_cores - 1) per
+    #: transaction. Identical workloads produce identical values under
+    #: both fabrics, which is what makes the saved ratio comparable.
+    broadcast_snoops: int = 0
+    #: broadcast_snoops - notifies_sent (0 on the snooping bus).
+    notifies_saved: int = 0
+    #: Directory only: histogram of exact cache-sharer-set sizes per
+    #: transaction (requester excluded). Empty on the snooping bus.
+    sharer_hist: dict[int, int] = field(default_factory=dict)
 
-    def as_dict(self) -> dict[str, int]:
-        return dict(self.__dict__)
+    def as_dict(self) -> dict:
+        out = dict(self.__dict__)
+        out["sharer_hist"] = dict(self.sharer_hist)
+        return out
 
 
 @dataclass(slots=True)
@@ -63,6 +96,16 @@ class SnoopBus:
         # Monotonic transaction sequence, usable as an idealized global clock
         # (the timestamp_piggyback=False ablation).
         self.sequence = 0
+        # Globally synchronized chunk-timestamp source — the simulator's
+        # stand-in for the invariant TSC the prototype reads at chunk
+        # termination. The interconnect is the serialization point every
+        # termination already synchronizes with, so the clock lives here.
+        # Strictly increasing across all cores: replay's
+        # (timestamp, rthread) sort reproduces real termination order and
+        # every cross-chunk dependency is respected by construction.
+        self.order_clock = 0
+        # Hoisted broadcast fan-out for the notify accounting.
+        self._broadcast = num_cores - 1
         if filter_snoops is None:
             filter_snoops = SNOOP_FILTER_DEFAULT
         self.filter_snoops = filter_snoops
@@ -81,6 +124,10 @@ class SnoopBus:
     def presence_mask(self, line: int) -> int:
         """The conservative holder bitmask for ``line``."""
         return self._presence.get(line, self._all_mask)
+
+    def next_chunk_timestamp(self) -> int:
+        self.order_clock += 1
+        return self.order_clock
 
     def attach_cache(self, core_id: int, cache: MESICache) -> None:
         self._caches[core_id] = cache
@@ -104,6 +151,11 @@ class SnoopBus:
             self.stats.read_exclusives += 1
         else:
             self.stats.reads += 1
+        # A shared bus is architecturally a broadcast: every other agent
+        # observes the transaction, whether or not the presence filter lets
+        # the simulator skip the provable no-op callbacks.
+        self.stats.notifies_sent += self._broadcast
+        self.stats.broadcast_snoops += self._broadcast
 
         # Presence-filtered snooping: cores whose presence bit is clear can
         # hold neither the line (their copy was invalidated by the write
@@ -153,6 +205,141 @@ class SnoopBus:
             # recorder — missing a later WAR conflict. Bits are cleared by
             # writes alone.
             self._presence[line] = present | (1 << requester)
+
+        if is_write:
+            fill_state = MODIFIED
+        else:
+            fill_state = SHARED if shared else EXCLUSIVE
+        return BusResult(fill_state=fill_state, victim_timestamps=victims,
+                         flushed=flushed)
+
+
+class DirectoryBus(SnoopBus):
+    """Directory (home-node) coherence: notify exact sharers, not everyone.
+
+    Alongside the conservative ``_presence`` summary the directory keeps
+    the *exact* cache-holder set per line — ``_sharers`` — maintained at
+    the three points a copy can appear or disappear: transaction fills
+    (the requester gains the line), remote-write invalidation (everyone
+    else loses it; folded into the write-path update), and eviction
+    (:meth:`note_eviction`, wired to each cache's ``evict_listener``).
+    Lines with no history default to "everyone", exactly like presence,
+    because tests pre-fill caches without going through a bus transaction.
+    The invariant ``sharers ⊆ presence`` (modulo the untracked default)
+    and ``sharers ⊇ true holders`` is pinned by the lockstep suite.
+
+    Who gets notified:
+
+    - **Caches**: only cores in the exact sharer set. A cache snoop on a
+      non-holder is a pure no-op (no state change, no stats), so skipping
+      it is bit-identical — same argument as the presence filter, with a
+      tight set instead of a superset.
+    - **Recorders**: every core in the *presence* set, exactly as the
+      snooping bus does. This set cannot be tightened further: a Bloom
+      signature can false-positive on a line the recorder never truly
+      touched, so a core that evicted the line (out of the sharer set,
+      still in presence) may still terminate its chunk on this snoop.
+      Skipping it would change which chunks get cut — not bit-identical.
+      The directory models this as the home node forwarding the
+      transaction to every core whose recorder may hold the line in a
+      signature, which is precisely what presence summarizes.
+
+    Per-transaction work is O(popcount(presence)) — set-bit iteration
+    instead of the reference fabric's O(num_cores) scan — and the notify
+    counters record the point-to-point messages actually sent versus the
+    broadcast a shared bus would have cost.
+    """
+
+    def __init__(self, num_cores: int, filter_snoops: bool | None = None):
+        super().__init__(num_cores, filter_snoops)
+        # Exact per-line cache-holder set; same untracked default as
+        # presence ("anyone may hold it").
+        self._sharers: dict[int, int] = {}
+
+    def sharer_mask(self, line: int) -> int:
+        """The exact cache-holder bitmask for ``line``."""
+        return self._sharers.get(line, self._all_mask)
+
+    def attach_cache(self, core_id: int, cache: MESICache) -> None:
+        super().attach_cache(core_id, cache)
+        # Evictions are the one holder-set change the transaction stream
+        # cannot see; the cache reports them so the sharer set stays exact.
+        cache.evict_listener = (
+            lambda line, _cid=core_id: self.note_eviction(_cid, line))
+
+    def note_eviction(self, core_id: int, line: int) -> None:
+        """``core_id`` dropped its copy of ``line`` (eviction/flush)."""
+        self._sharers[line] = (self._sharers.get(line, self._all_mask)
+                               & ~(1 << core_id))
+
+    def transaction(self, requester: int, line: int, is_write: bool,
+                    upgrade: bool = False) -> BusResult:
+        stats = self.stats
+        stats.transactions += 1
+        self.sequence += 1
+        if upgrade:
+            stats.upgrades += 1
+        elif is_write:
+            stats.read_exclusives += 1
+        else:
+            stats.reads += 1
+
+        # Same filtered-superset semantics (and the same read-before-update
+        # ordering) as the snooping bus; filtering off degrades to
+        # broadcast, preserving the ablation.
+        all_mask = self._all_mask
+        present = (self._presence.get(line, all_mask)
+                   if self.filter_snoops else all_mask)
+        req_bit = 1 << requester
+        notify = present & ~req_bit
+        sharers = self._sharers.get(line, all_mask)
+        cache_mask = notify & sharers
+
+        sent = notify.bit_count()
+        broadcast = self._broadcast
+        stats.notifies_sent += sent
+        stats.broadcast_snoops += broadcast
+        stats.notifies_saved += broadcast - sent
+        hist = stats.sharer_hist
+        holders = cache_mask.bit_count()
+        hist[holders] = hist.get(holders, 0) + 1
+
+        # Walk only the set bits, ascending core id (lowest bit first), so
+        # victim order matches the reference fabric's ascending scan.
+        shared = False
+        flushed = False
+        victims: list[int] = []
+        caches = self._caches
+        snoopers = self._snoopers
+        mask = notify
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            core_id = low.bit_length() - 1
+            if low & cache_mask:
+                cache = caches[core_id]
+                if cache is not None:
+                    if is_write:
+                        flushed |= cache.snoop_remote_write(line)
+                    elif cache.snoop_remote_read(line):
+                        shared = True
+            snooper = snoopers[core_id]
+            if snooper is not None:
+                timestamp = snooper.snoop(line, is_write)
+                if timestamp is not None:
+                    victims.append(timestamp)
+        if flushed:
+            stats.flushes += 1
+
+        if is_write:
+            # All other copies were invalidated (and their recorders
+            # snooped) in this transaction; the requester is now the sole
+            # holder for both summaries.
+            self._presence[line] = req_bit
+            self._sharers[line] = req_bit
+        else:
+            self._presence[line] = present | req_bit
+            self._sharers[line] = sharers | req_bit
 
         if is_write:
             fill_state = MODIFIED

@@ -55,6 +55,11 @@ class MESICache:
         self._sets: list[OrderedDict[int, str]] = [
             OrderedDict() for _ in range(self.config.sets)
         ]
+        # Optional hook called with a line address whenever this cache
+        # drops a copy outside a snoop (LRU eviction, flush_all). The
+        # directory fabric attaches it to keep exact sharer sets; None
+        # under the snooping bus (evictions never narrow presence).
+        self.evict_listener = None
         # line_bytes and sets are validated powers of two, so set selection
         # is a shift+mask — same result as CacheConfig.set_index for the
         # non-negative addresses the machine produces.
@@ -100,11 +105,13 @@ class MESICache:
         entry_set = self._set_for(line)
         wrote_back = False
         if line not in entry_set and len(entry_set) >= self.config.ways:
-            _victim, victim_state = entry_set.popitem(last=False)
+            victim, victim_state = entry_set.popitem(last=False)
             self.stats.evictions += 1
             if victim_state == MODIFIED:
                 self.stats.writebacks += 1
                 wrote_back = True
+            if self.evict_listener is not None:
+                self.evict_listener(victim)
         entry_set[line] = state
         entry_set.move_to_end(line)
         return wrote_back
@@ -144,6 +151,9 @@ class MESICache:
     def flush_all(self) -> None:
         """Drop every line (states only; memory already holds the data)."""
         for entry_set in self._sets:
+            if self.evict_listener is not None:
+                for line in entry_set:
+                    self.evict_listener(line)
             entry_set.clear()
 
     def cached_lines(self) -> dict[int, str]:

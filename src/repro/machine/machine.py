@@ -14,12 +14,12 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from ..config import MachineConfig
+from ..config import COHERENCE_DIRECTORY, MachineConfig
 from ..errors import MachineFault
 from ..isa.program import Program
 from ..perf.costmodel import DEFAULT_COST_MODEL, CostModel
 from ..telemetry import NULL_TELEMETRY, Telemetry
-from .bus import SnoopBus
+from .bus import DirectoryBus, SnoopBus
 from .cache import MESICache, MISS as CACHE_MISS, MODIFIED, UPGRADE
 from .core import OUTCOME_OK, Engine
 from .memory import PhysicalMemory
@@ -168,18 +168,17 @@ class Machine:
         self.cost = cost or DEFAULT_COST_MODEL
         self.telemetry = telemetry or NULL_TELEMETRY
         self.memory = PhysicalMemory(self.config.memory_bytes)
-        self.bus = SnoopBus(self.config.num_cores)
+        # Module-global class references so test fixtures can swap in
+        # checked subclasses by monkeypatching this module's names.
+        if self.config.coherence == COHERENCE_DIRECTORY:
+            self.bus = DirectoryBus(self.config.num_cores)
+        else:
+            self.bus = SnoopBus(self.config.num_cores)
         self.cores = [Core(core_id, self) for core_id in range(self.config.num_cores)]
         for core in self.cores:
             self.bus.attach_cache(core.core_id, core.cache)
         self.global_step = 0
         self.program: Program | None = None
-        # Globally synchronized chunk-timestamp source — the simulator's
-        # stand-in for the invariant TSC the prototype reads at chunk
-        # termination. Strictly increasing across all cores, so replay's
-        # (timestamp, rthread) sort reproduces real termination order and
-        # every cross-chunk dependency is respected by construction.
-        self._chunk_timestamps = 0
         # True while a bus transaction is being processed. Recorder
         # termination-time drains (DRAIN tso mode) are forbidden inside a
         # transaction: they would issue nested transactions and break the
@@ -206,8 +205,9 @@ class Machine:
             self._tm_copy_lines = metrics.counter("machine.coherent_copy_lines")
 
     def next_chunk_timestamp(self) -> int:
-        self._chunk_timestamps += 1
-        return self._chunk_timestamps
+        """Next chunk timestamp, from the fabric's serialized order clock
+        (see ``SnoopBus.order_clock``; the recorder inlines this bump)."""
+        return self.bus.next_chunk_timestamp()
 
     def load_program(self, program: Program) -> None:
         """Load the data segment and point every core's engine at the code."""

@@ -1,0 +1,78 @@
+"""Per-core chunk order logs.
+
+Scalable ordering metadata, one stream per core (the "Distributed Order
+Recording" shape): instead of funnelling every chunk through one shared
+log to establish order, each MRR appends an :class:`OrderRecord` to its
+own :class:`CoreOrderLog` at termination. A record carries
+
+- the chunk's global timestamp (drawn from the fabric's serialized
+  ``order_clock`` — the interconnect every termination already passes
+  through, so no extra shared counter sits on the hot path), and
+- ``pred_ts``: the latest chunk termination this core has *directly
+  observed* — its own previous chunk, or a remote chunk whose timestamp
+  was piggybacked on a victim notification of one of this core's
+  transactions. ``pred_ts < timestamp`` always; it names the record's
+  immediate order predecessor without consulting any global structure.
+
+Each core's stream is strictly timestamp-monotonic, so an O(log n) k-way
+merge (:func:`repro.replay.schedule.merge_core_streams`) reconstructs
+exactly the global (timestamp, rthread) replay schedule — pinned against
+the v1 single-log schedule by the property suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class OrderRecord:
+    """One chunk termination as seen by its own core."""
+
+    #: Position within this core's stream (0-based, dense).
+    seq: int
+    #: R-thread the chunk belongs to.
+    rthread: int
+    #: Global chunk timestamp (fabric order clock at termination).
+    timestamp: int
+    #: Latest termination this core observed before this one: its own
+    #: previous chunk or a victim timestamp piggybacked on one of its
+    #: transactions. 0 when nothing was observed yet.
+    pred_ts: int
+
+    @property
+    def sort_key(self) -> tuple[int, int]:
+        return (self.timestamp, self.rthread)
+
+
+class CoreOrderLog:
+    """One core's append-only order stream."""
+
+    def __init__(self, core_id: int):
+        self.core_id = core_id
+        self.records: list[OrderRecord] = []
+        # Timestamp of this core's last terminated chunk.
+        self.local_clock = 0
+        # High-water mark of remote timestamps piggybacked on victim
+        # notifications (observe_victims).
+        self.observed_remote = 0
+
+    def observe_remote(self, timestamp: int) -> None:
+        """A transaction of this core terminated a remote chunk; its
+        timestamp rides back on the notification."""
+        if timestamp > self.observed_remote:
+            self.observed_remote = timestamp
+
+    def append(self, rthread: int, timestamp: int) -> OrderRecord:
+        """Record a chunk termination on this core."""
+        pred = self.local_clock
+        if self.observed_remote > pred:
+            pred = self.observed_remote
+        record = OrderRecord(seq=len(self.records), rthread=rthread,
+                             timestamp=timestamp, pred_ts=pred)
+        self.records.append(record)
+        self.local_clock = timestamp
+        return record
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -8,8 +8,9 @@ Responsibilities (matching the prototype's MRR block):
 - snoop bus transactions and terminate the current chunk when a remote
   request hits the signatures — guaranteeing that no two conflicting
   accesses ever inhabit a pair of *open* chunks;
-- timestamp each chunk from the machine's globally synchronized clock
-  (the prototype reads the invariant TSC at termination). Because the
+- timestamp each chunk from the fabric's globally synchronized order
+  clock (the prototype reads the invariant TSC at termination), and
+  append a matching record to this core's own order log. Because the
   clock is strictly increasing across cores, timestamps order chunks by
   real termination time: a dependence on a *closed* chunk is ordered for
   free, and a dependence on an *open* chunk forces it closed first via
@@ -32,6 +33,7 @@ from ..config import MRRConfig, TsoMode
 from ..errors import RecordingError
 from ..telemetry import NULL_TELEMETRY, Telemetry
 from .chunk import ChunkEntry, Reason
+from .orderlog import CoreOrderLog
 from .signature import BloomSignature
 
 
@@ -54,6 +56,10 @@ class MemoryRaceRecorder:
         # Diagnostics for the evaluation figures.
         self.chunks_logged = 0
         self.conflicts_caused = 0
+        # This core's own order stream: one record per terminated chunk,
+        # with predecessor timestamps from victim notifications. Purely
+        # additive metadata — the shared chunk log is unchanged.
+        self.order_log = CoreOrderLog(core.core_id)
         self.telemetry = telemetry or NULL_TELEMETRY
         # Hot-path hoists: telemetry enablement and the termination
         # thresholds are fixed for the recorder's lifetime, so the per-unit
@@ -233,9 +239,13 @@ class MemoryRaceRecorder:
                       "core": self.core.core_id})
 
     def observe_victims(self, victim_timestamps: list[int]) -> None:
-        """This core's transaction terminated remote chunks (diagnostics
-        only: ordering is carried by the global timestamp clock)."""
+        """This core's transaction terminated remote chunks: count them,
+        and raise the order log's remote high-water mark — the piggybacked
+        predecessor timestamps the per-core order records carry. Ordering
+        itself is still carried by the global timestamp clock."""
         self.conflicts_caused += len(victim_timestamps)
+        if victim_timestamps:
+            self.order_log.observe_remote(max(victim_timestamps))
 
     # -- self-initiated terminations -----------------------------------------
 
@@ -283,10 +293,13 @@ class MemoryRaceRecorder:
         # Timestamp taken AFTER the drain: chunks the drain terminated
         # elsewhere must be ordered before this one (their reads preceded
         # this chunk's store visibility). Inline of
-        # machine.next_chunk_timestamp() — terminate is on the conflict
-        # hot path and the counter bump does not merit a call.
-        timestamp = machine._chunk_timestamps + 1
-        machine._chunk_timestamps = timestamp
+        # bus.next_chunk_timestamp() — terminate is on the conflict hot
+        # path and the counter bump does not merit a call. The clock lives
+        # on the fabric (the serialization point terminations already
+        # synchronize with), not in a machine-global counter.
+        bus = machine.bus
+        timestamp = bus.order_clock + 1
+        bus.order_clock = timestamp
         engine = self.core.engine
         entry = ChunkEntry(
             rthread=self.rthread,
@@ -316,5 +329,6 @@ class MemoryRaceRecorder:
                       "write_sat_pct": round(write_pct, 2)})
         self.sink(entry)
         self.chunks_logged += 1
+        self.order_log.append(entry.rthread, timestamp)
         self._begin_chunk()
         return timestamp

@@ -60,6 +60,24 @@ CHECKPOINT_INTERVALS = 16
 #: interposition charge to noise at these workload sizes).
 OVERHEAD_BATCH_EVENTS = 64
 
+#: Core counts for the many-core scaling series (directory vs snooping).
+SCALING_CORES = (4, 8, 16, 32, 64)
+
+#: The sharing-heavy scaling workload: every thread read-modify-writes
+#: slots inside one cache line, so coherence traffic grows with the
+#: thread count — the worst case for a broadcast fabric.
+SCALING_WORKLOAD = "pingpong"
+
+#: At 64 cores the directory must save more than this many notifies per
+#: one it sends (the acceptance bar for O(sharers) beating broadcast).
+SCALING_SAVED_RATIO_MIN = 2.0
+
+
+def chunk_rate_per_kilo_instruction(chunks: int, instructions: int) -> float:
+    """Chunks produced per thousand recorded instructions — the log
+    production rate the scaling figures track (shared with bench_f8)."""
+    return 1000.0 * chunks / instructions if instructions else 0.0
+
 
 def digest_of(outcome) -> str:
     """Determinism digest of a record run: memory image, chunk log, cycle
@@ -204,6 +222,111 @@ def run_all(names: tuple[str, ...], scale: int, seed: int, repeats: int,
     return results
 
 
+# -- many-core scaling -------------------------------------------------------
+
+def run_scaling(core_counts: tuple[int, ...] = SCALING_CORES,
+                workload: str = SCALING_WORKLOAD, seed: int = 2,
+                scale: int = 1) -> tuple[list[dict], list[str]]:
+    """The scaling curve: record ``workload`` at each core count under
+    both coherence fabrics, one thread per core.
+
+    Returns ``(rows, blocking)``. Per core count each row carries both
+    fabrics' sim rate and notify counters plus the shared determinism
+    digest — a digest mismatch between fabrics (the bit-identity
+    contract) is blocking, as is a directory that fails to beat broadcast
+    by ``SCALING_SAVED_RATIO_MIN`` at the largest core count.
+    """
+    import dataclasses
+
+    from .. import session, workloads
+    from ..config import COHERENCE_MODELS, DEFAULT_CONFIG
+
+    rows: list[dict] = []
+    blocking: list[str] = []
+    for cores in core_counts:
+        row: dict = {"workload": workload, "cores": cores,
+                     "threads": cores, "scale": scale, "seed": seed}
+        digests: dict[str, str] = {}
+        program, inputs = workloads.build(workload, threads=cores,
+                                          scale=scale)
+        for coherence in COHERENCE_MODELS:
+            config = dataclasses.replace(
+                DEFAULT_CONFIG,
+                machine=dataclasses.replace(DEFAULT_CONFIG.machine,
+                                            num_cores=cores,
+                                            coherence=coherence))
+            gc.collect()
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                outcome = session.record(program, seed=seed, config=config,
+                                         input_files=inputs)
+                wall = time.perf_counter() - start
+            finally:
+                gc.enable()
+            digests[coherence] = digest_of(outcome)
+            bus = outcome.machine_stats["bus"]
+            row[coherence] = {
+                "wall_s": round(wall, 6),
+                "rate_units_per_s": round(outcome.units / wall, 1),
+                "notifies_sent": bus["notifies_sent"],
+                "notifies_saved": bus["notifies_saved"],
+                "broadcast_snoops": bus["broadcast_snoops"],
+            }
+            row["units"] = outcome.units
+            row["chunks"] = len(outcome.recording.chunks)
+            row["chunks_per_ki"] = round(chunk_rate_per_kilo_instruction(
+                len(outcome.recording.chunks), outcome.instructions), 3)
+        if len(set(digests.values())) != 1:
+            blocking.append(
+                f"scaling {workload}@{cores}: coherence fabrics are not "
+                f"bit-identical ({digests})")
+        row["digest"] = digests["snoop"]
+        sent = row["directory"]["notifies_sent"]
+        row["saved_ratio"] = round(
+            row["directory"]["notifies_saved"] / sent, 2) if sent else 0.0
+        rows.append(row)
+    largest = rows[-1]
+    if (largest["cores"] >= 64
+            and largest["saved_ratio"] <= SCALING_SAVED_RATIO_MIN):
+        blocking.append(
+            f"scaling {workload}@{largest['cores']}: directory saved ratio "
+            f"{largest['saved_ratio']} not > {SCALING_SAVED_RATIO_MIN}x — "
+            "notify work is no longer growing slower than broadcast")
+    return rows, blocking
+
+
+def compare_scaling(previous: dict | None,
+                    rows: list[dict]) -> tuple[list[str], list[str]]:
+    """Digest-gate the scaling series against the previous entry, same
+    contract as :func:`compare` (mismatch blocks, rate drops warn)."""
+    blocking: list[str] = []
+    warnings: list[str] = []
+    if not previous:
+        return blocking, warnings
+    prior = {(r["workload"], r["cores"], r["scale"], r["seed"]): r
+             for r in previous.get("scaling", [])}
+    for row in rows:
+        old = prior.get((row["workload"], row["cores"], row["scale"],
+                         row["seed"]))
+        if old is None:
+            continue
+        if old["digest"] != row["digest"]:
+            blocking.append(
+                f"scaling {row['workload']}@{row['cores']}: determinism "
+                f"digest changed ({old['digest'][:16]} -> "
+                f"{row['digest'][:16]})")
+        for coherence in ("snoop", "directory"):
+            old_rate = old.get(coherence, {}).get("rate_units_per_s")
+            new_rate = row[coherence]["rate_units_per_s"]
+            if old_rate and new_rate / old_rate < SLOWDOWN_WARN_RATIO:
+                warnings.append(
+                    f"scaling {row['workload']}@{row['cores']} "
+                    f"[{coherence}]: rate dropped to "
+                    f"{new_rate / old_rate:.0%} of the previous run")
+    return blocking, warnings
+
+
 # -- history file ------------------------------------------------------------
 
 def load_history(path: Path) -> dict:
@@ -287,6 +410,13 @@ def add_args(parser: argparse.ArgumentParser) -> None:
                              "(default: BENCH_simrate.json in the CWD)")
     parser.add_argument("--label", default=None,
                         help="free-form label stored with this entry")
+    parser.add_argument("--scaling-cores", default=None, metavar="CSV",
+                        help="core counts for the directory-vs-snooping "
+                             "scaling series (default "
+                             f"{','.join(map(str, SCALING_CORES))}; "
+                             "--quick trims to 4,16)")
+    parser.add_argument("--no-scaling", action="store_true",
+                        help="skip the many-core scaling series")
 
 
 def run(args: argparse.Namespace) -> int:
@@ -304,11 +434,27 @@ def run(args: argparse.Namespace) -> int:
                       replay_jobs=args.replay_jobs)
     blocking, warnings = compare(previous, results)
 
+    scaling_rows: list[dict] = []
+    if not args.no_scaling:
+        if args.scaling_cores:
+            core_counts = tuple(int(c) for c
+                                in args.scaling_cores.split(","))
+        else:
+            core_counts = (4, 16) if args.quick else SCALING_CORES
+        scaling_rows, scaling_blocking = run_scaling(core_counts,
+                                                     seed=args.seed)
+        blocking.extend(scaling_blocking)
+        more_blocking, more_warnings = compare_scaling(previous,
+                                                       scaling_rows)
+        blocking.extend(more_blocking)
+        warnings.extend(more_warnings)
+
     entry = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "label": args.label,
         "python": sys.version.split()[0],
         "results": results,
+        "scaling": scaling_rows,
     }
     history["entries"].append(entry)
     out_path.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
@@ -331,6 +477,13 @@ def run(args: argparse.Namespace) -> int:
                   f"batched {o.get('batched_overhead_pct', 0.0):+.2f}%  "
                   f"log bytes v1 {o.get('total_bytes_v1', 0)} "
                   f"-> v2 {o.get('total_bytes_v2', 0)}")
+    for row in scaling_rows:
+        print(f"scaling {row['workload']}@{row['cores']:<2} cores  "
+              f"snoop {row['snoop']['rate_units_per_s']:>10,.0f} u/s  "
+              f"directory {row['directory']['rate_units_per_s']:>10,.0f} "
+              f"u/s  notifies {row['directory']['notifies_sent']:>8} "
+              f"(saved {row['saved_ratio']:.1f}x)  "
+              f"digest {row['digest'][:16]}")
     for message in warnings:
         print(f"warning: {message}", file=sys.stderr)
     for message in blocking:

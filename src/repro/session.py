@@ -73,6 +73,12 @@ class RunOutcome:
     recording: Recording | None = None
     # The run's telemetry (tracer + metrics); NULL_TELEMETRY when disabled.
     telemetry: Telemetry | None = None
+    # Per-core chunk streams and order logs (recording modes only): each
+    # core's chunks in emission order plus its CoreOrderLog of
+    # (seq, rthread, timestamp, pred_ts) records. Merging the streams
+    # reconstructs the global replay schedule without the shared log.
+    core_chunk_logs: list[list] | None = None
+    order_logs: list | None = None
 
     @property
     def instructions(self) -> int:
@@ -161,9 +167,13 @@ def simulate(program: Program, config: SimConfig | None = None,
 
     recording = None
     rsm_stats = None
+    core_chunk_logs = None
+    order_logs = None
     if rsm is not None:
         rsm.finalize()
         rsm_stats = rsm.stats.as_dict()
+        core_chunk_logs = rsm.core_chunk_logs
+        order_logs = rsm.order_logs()
     exit_codes = {tid: task.exit_code for tid, task in kernel.tasks.items()}
     outputs = kernel.vfs.written()
     sphere_outputs = kernel.vfs.written_recorded()
@@ -204,6 +214,12 @@ def simulate(program: Program, config: SimConfig | None = None,
         metrics = telemetry.metrics
         metrics.gauge("session.units").set(units)
         metrics.gauge("session.total_cycles").set(machine.total_cycles)
+        # Fabric notify accounting (directory vs broadcast): scalar bus
+        # stats become gauges so `quickrec stats` / `record --trace`
+        # surface them alongside the recorder metrics.
+        for key, value in machine.bus.stats.as_dict().items():
+            if isinstance(value, int):
+                metrics.gauge(f"machine.bus.{key}").set(value)
         if recording is not None:
             metrics.gauge("recording.chunks").set(len(recording.chunks))
             metrics.gauge("recording.input_events").set(len(recording.events))
@@ -227,6 +243,8 @@ def simulate(program: Program, config: SimConfig | None = None,
         rsm_stats=rsm_stats,
         recording=recording,
         telemetry=telemetry,
+        core_chunk_logs=core_chunk_logs,
+        order_logs=order_logs,
     )
 
 

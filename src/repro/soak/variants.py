@@ -4,7 +4,8 @@ Variants come in two strengths:
 
 - **bit-identical** variants toggle mechanisms that are documented as
   observationally free — the decode cache, presence-based snoop
-  filtering, telemetry, chunk-log compression-on-save. A run under any of
+  filtering, the directory coherence fabric, telemetry, chunk-log
+  compression-on-save. A run under any of
   these must produce exactly the baseline's digest (memory image, chunk
   log, input log, outputs, exit codes, cycle and unit counts). A variant
   may carve out named fingerprint components via ``identical_except`` —
@@ -34,6 +35,10 @@ class Variant:
     name: str
     decode_cache: bool = True
     snoop_filter: bool = True
+    #: Coherence fabric override (``"directory"`` swaps the snooping bus
+    #: for the exact-sharer directory; None keeps the case's fabric).
+    #: Documented observationally free — directory runs are bit-identical.
+    coherence: str | None = None
     telemetry: bool | None = None
     compress_chunk_log: bool | None = None
     store_buffer_entries: int | None = None
@@ -74,6 +79,8 @@ class Variant:
                 store_buffer = dataclasses.replace(
                     store_buffer, drain_period=self.store_buffer_drain)
             machine = dataclasses.replace(machine, store_buffer=store_buffer)
+        if self.coherence is not None:
+            machine = dataclasses.replace(machine, coherence=self.coherence)
         kernel = config.kernel
         if self.quantum is not None:
             kernel = dataclasses.replace(
@@ -102,6 +109,9 @@ BASELINE = Variant("baseline")
 MATRIX_VARIANTS: tuple[Variant, ...] = (
     Variant("decode-off", decode_cache=False),
     Variant("snoop-filter-off", snoop_filter=False),
+    Variant("directory", coherence="directory"),
+    Variant("directory-checkpointed", coherence="directory",
+            checkpoint_every=8),
     Variant("telemetry-on", telemetry=True),
     Variant("zlib-off", compress_chunk_log=False),
     Variant("checkpointed", checkpoint_every=8),

@@ -15,43 +15,61 @@ from repro.config import (
     StoreBufferConfig,
     TsoMode,
 )
-from repro.machine.bus import SnoopBus
+from repro.machine.bus import DirectoryBus, SnoopBus
 from repro.machine.cache import EXCLUSIVE, MODIFIED
 
 
-class _CheckedBus(SnoopBus):
-    """SnoopBus that asserts MESI ownership invariants per transaction."""
+def _mesi_checked(bus_cls):
+    """A fabric subclass asserting MESI ownership invariants per
+    transaction — plus, on the directory, exact-sharer containment."""
 
-    def transaction(self, requester, line, is_write, upgrade=False):
-        result = super().transaction(requester, line, is_write, upgrade)
-        holders = {}
-        lines = set()
-        for cache in self._caches:
-            if cache is not None:
-                lines.update(cache.cached_lines())
-        for check_line in lines:
-            states = [cache.state(check_line) for cache in self._caches
-                      if cache is not None]
-            owners = [s for s in states if s in (MODIFIED, EXCLUSIVE)]
-            sharers = [s for s in states if s is not None]
-            assert len(owners) <= 1, \
-                f"line {check_line:#x}: multiple owners {states}"
-            if owners:
-                assert len(sharers) == 1, \
-                    f"line {check_line:#x}: owner coexists with sharers {states}"
-        return result
+    class Checked(bus_cls):
+        def transaction(self, requester, line, is_write, upgrade=False):
+            result = super().transaction(requester, line, is_write, upgrade)
+            lines = set()
+            for cache in self._caches:
+                if cache is not None:
+                    lines.update(cache.cached_lines())
+            for check_line in lines:
+                states = [cache.state(check_line) for cache in self._caches
+                          if cache is not None]
+                owners = [s for s in states if s in (MODIFIED, EXCLUSIVE)]
+                sharers = [s for s in states if s is not None]
+                assert len(owners) <= 1, \
+                    f"line {check_line:#x}: multiple owners {states}"
+                if owners:
+                    assert len(sharers) == 1, (f"line {check_line:#x}: "
+                                               f"owner coexists with sharers "
+                                               f"{states}")
+                if issubclass(bus_cls, DirectoryBus):
+                    sharer_mask = self.sharer_mask(check_line)
+                    assert sharer_mask & ~self.presence_mask(check_line) == 0
+                    holders = sum(
+                        1 << cid for cid, cache in enumerate(self._caches)
+                        if cache is not None
+                        and cache.state(check_line) is not None)
+                    assert holders & ~sharer_mask == 0, \
+                        f"line {check_line:#x}: sharer set misses a holder"
+            return result
+
+    return Checked
 
 
 @pytest.fixture(autouse=True)
 def checked_bus(monkeypatch):
-    monkeypatch.setattr("repro.machine.machine.SnoopBus", _CheckedBus)
+    monkeypatch.setattr("repro.machine.machine.SnoopBus",
+                        _mesi_checked(SnoopBus))
+    monkeypatch.setattr("repro.machine.machine.DirectoryBus",
+                        _mesi_checked(DirectoryBus))
 
 
+@pytest.mark.parametrize("coherence", ["snoop", "directory"])
 @pytest.mark.parametrize("mode", [TsoMode.RSW, TsoMode.DRAIN])
-def test_mesi_invariants_hold_under_recording(mode):
+def test_mesi_invariants_hold_under_recording(mode, coherence):
     config = SimConfig(
         machine=MachineConfig(
-            store_buffer=StoreBufferConfig(entries=12, drain_period=12)),
+            store_buffer=StoreBufferConfig(entries=12, drain_period=12),
+            coherence=coherence),
         mrr=MRRConfig(tso_mode=mode),
     )
     program, inputs = workloads.build("water")

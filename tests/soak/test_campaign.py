@@ -28,6 +28,22 @@ def test_variant_apply_overrides_and_keeps_the_rest():
     assert config.mrr == DEFAULT_CONFIG.mrr
 
 
+def test_directory_variants_in_the_lattice():
+    from repro.soak.variants import variant_by_name
+
+    directory = variant_by_name("directory")
+    assert directory.bit_identical
+    assert directory.apply(DEFAULT_CONFIG).machine.coherence == "directory"
+    checkpointed = variant_by_name("directory-checkpointed")
+    assert checkpointed.bit_identical
+    assert checkpointed.checkpoint_every > 0
+    assert checkpointed.apply(DEFAULT_CONFIG).machine.coherence == "directory"
+    # None override keeps the case's fabric
+    assert BASELINE.apply(DEFAULT_CONFIG).machine.coherence == "snoop"
+    with pytest.raises(KeyError):
+        variant_by_name("token-coherence")
+
+
 def test_variant_apply_is_pure():
     for variant in matrix_variants():
         variant.apply(DEFAULT_CONFIG)

@@ -50,6 +50,46 @@ def test_history_schema_stable_and_digests_reproducible(tmp_path, capsys):
     # table printed, one line per bench plus the history footer
     lines = capsys.readouterr().out.strip().splitlines()
     assert any("history:" in line for line in lines)
+    # the many-core scaling series rides on the entry (quick: 4 and 16
+    # cores), bit-identical across fabrics and across runs
+    for old, new in zip(first["scaling"], second["scaling"]):
+        assert new["workload"] == bench.SCALING_WORKLOAD
+        assert new["cores"] in (4, 16)
+        assert old["digest"] == new["digest"]
+        for coherence in ("snoop", "directory"):
+            assert new[coherence]["notifies_sent"] > 0
+            assert (new[coherence]["broadcast_snoops"]
+                    == new["snoop"]["broadcast_snoops"])
+        assert new["snoop"]["notifies_saved"] == 0
+        assert new["directory"]["notifies_saved"] > 0
+        assert new["saved_ratio"] > 0
+    assert [row["cores"] for row in second["scaling"]] == [4, 16]
+    assert any("scaling" in line for line in lines)
+
+
+def test_no_scaling_flag_skips_the_series(tmp_path):
+    code, out = _run(tmp_path, extra=["--no-scaling"])
+    assert code == 0
+    history = json.loads(out.read_text())
+    assert history["entries"][-1]["scaling"] == []
+
+
+def test_compare_scaling_gates_digests_and_warns_on_rate():
+    def row(cores, digest, rate):
+        return {"workload": "pingpong", "cores": cores, "scale": 1,
+                "seed": 2, "digest": digest,
+                "snoop": {"rate_units_per_s": rate},
+                "directory": {"rate_units_per_s": rate}}
+
+    previous = {"scaling": [row(4, "aaaa", 100_000.0),
+                            row(16, "bbbb", 100_000.0)]}
+    rows = [row(4, "XXXX", 100_000.0),
+            row(16, "bbbb", 100_000.0 * bench.SLOWDOWN_WARN_RATIO / 2)]
+    blocking, warnings = bench.compare_scaling(previous, rows)
+    assert len(blocking) == 1 and "pingpong@4" in blocking[0]
+    assert len(warnings) == 2  # both fabrics slowed at 16 cores
+    # unseen (workload, cores) pairs are ignored, same as compare()
+    assert bench.compare_scaling(previous, [row(64, "cccc", 1.0)]) == ([], [])
 
 
 def test_digest_mismatch_blocks_with_exit_1(tmp_path, capsys):

@@ -30,6 +30,30 @@ def test_record_without_output_dir(capsys):
     assert "saved to" not in capsys.readouterr().out
 
 
+def test_record_directory_coherence_roundtrips(tmp_path, capsys):
+    rec_dir = str(tmp_path / "rec")
+    assert main(["record", "pingpong", "--threads", "4", "--seed", "3",
+                 "--coherence", "directory", "--cores", "8",
+                 "-o", rec_dir]) == 0
+    out = capsys.readouterr().out
+    assert "notifies saved vs broadcast" in out
+    assert "sharer set sizes" in out
+    assert main(["replay", rec_dir]) == 0
+    assert "replay verified" in capsys.readouterr().out
+
+
+def test_record_snoop_fabric_hides_directory_rows(capsys):
+    assert main(["record", "counter", "--threads", "2"]) == 0
+    assert "notifies" not in capsys.readouterr().out
+
+
+def test_stats_accepts_coherence_override(capsys):
+    assert main(["stats", "pingpong", "--threads", "2",
+                 "--coherence", "directory", "--no-replay"]) == 0
+    out = capsys.readouterr().out
+    assert "machine.bus.notifies_saved" in out
+
+
 def test_roundtrip_command(capsys):
     assert main(["roundtrip", "counter", "dekker", "--seed", "1"]) == 0
     out = capsys.readouterr().out

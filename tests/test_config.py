@@ -56,6 +56,25 @@ def test_machine_validation():
         MachineConfig(word_bytes=3)
 
 
+def test_coherence_validation():
+    assert MachineConfig().coherence == "snoop"
+    assert MachineConfig(coherence="directory").coherence == "directory"
+    with pytest.raises(ConfigError):
+        MachineConfig(coherence="token")
+
+
+def test_old_bundle_dicts_get_snoop_coherence():
+    # a config dict saved before the coherence knob existed must still load
+    data = SimConfig(machine=MachineConfig(coherence="directory")).to_dict()
+    del data["machine"]["coherence"]
+    assert SimConfig.from_dict(data).machine.coherence == "snoop"
+
+
+def test_coherence_round_trips_through_dict():
+    config = SimConfig(machine=MachineConfig(coherence="directory"))
+    assert SimConfig.from_dict(config.to_dict()) == config
+
+
 def test_mrr_validation():
     with pytest.raises(ConfigError):
         MRRConfig(signature_bits=100)
