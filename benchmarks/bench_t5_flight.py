@@ -1,0 +1,65 @@
+"""T5 — flight recorder: O(window) memory at bit-identical fidelity.
+
+Sweeps problem scale with a fixed ring geometry and shows the two halves
+of the flight contract together in one table: the unbounded chunk log
+grows with the run while peak ring occupancy stays below the
+``(window + 1) * epoch_chunks`` ceiling, and at every scale the flight
+run's execution cycles and replay digest equal the unbounded run's.
+"""
+
+from repro.analysis.report import render_table
+from repro.perf.flight import measure_flight
+
+from conftest import BENCH_SEED, BenchSuite, publish
+
+WINDOW = 2
+EPOCH_CHUNKS = 32
+SCALES = (1, 2, 4)
+WORKLOADS = ("racer", "counter")
+
+
+def test_t5_flight_bounded_memory(benchmark, suite: BenchSuite):
+    def measure():
+        rows = []
+        for name in WORKLOADS:
+            for scale in SCALES:
+                program, inputs = suite.build(name, scale=scale)
+                rows.append(measure_flight(
+                    program, window=WINDOW, epoch_chunks=EPOCH_CHUNKS,
+                    seed=BENCH_SEED, input_files=inputs,
+                    name=f"{name} x{scale}"))
+        return rows
+
+    comparisons = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = []
+    for cmp in comparisons:
+        rows.append((
+            cmp.name,
+            cmp.chunks_total,
+            cmp.max_chunks_retained,
+            cmp.ring_bound,
+            cmp.evictions,
+            "yes" if cmp.bit_identical else "NO",
+        ))
+    table = render_table(
+        ("workload", "log chunks", "peak ring", "bound",
+         "evictions", "bit-identical"),
+        rows,
+        title=f"T5: flight ring (window={WINDOW} x {EPOCH_CHUNKS} chunks) "
+              "vs unbounded log")
+    publish("t5_flight", table)
+
+    for cmp in comparisons:
+        # fidelity: the ring never perturbs execution or replay outcome
+        assert cmp.bit_identical, cmp.name
+        # boundedness: peak occupancy is O(window), not O(run)
+        assert cmp.bounded, (cmp.name, cmp.max_chunks_retained,
+                             cmp.ring_bound)
+    # the sweep's point: the log outgrows a ring that does not grow
+    biggest = {name: max(c.chunks_total for c in comparisons
+                         if c.name.startswith(name)) for name in WORKLOADS}
+    for name in WORKLOADS:
+        ceiling = (WINDOW + 1) * EPOCH_CHUNKS
+        assert biggest[name] > ceiling, \
+            f"{name} never outgrew the ring; raise SCALES"

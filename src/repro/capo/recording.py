@@ -23,6 +23,16 @@ manifest and program image; each log section is read and decoded on first
 access. ``quickrec``'s metadata-only paths (stats headers, manifest
 summaries) therefore never pay for decompressing chunk payloads they do
 not read, which matters once recordings reach millions of chunks.
+
+Error contract: *everything* malformed raises
+:class:`~repro.errors.LogFormatError` — a missing manifest, program image
+or log section (the error names the offending directory), a truncated or
+corrupt section payload, and any count mismatch against the manifest.
+Callers handling damaged bundles (triage, crash capture, the flight
+recorder) need exactly one except clause, never a raw ``FileNotFoundError``
+or codec exception. ``save`` keeps the bundle self-consistent on re-save:
+section files a previous save wrote but this save does not (checkpoints
+dropped, compression toggled off) are removed rather than left stale.
 """
 
 from __future__ import annotations
@@ -45,6 +55,11 @@ from ..mrr.logfmt import (
 )
 from .events import InputEvent
 from .input_log import decode_events, encode_events
+
+#: Metadata key marking a materialized flight window (see
+#: :mod:`repro.flight`): replay must restore the embedded position-0
+#: checkpoint instead of constructing a fresh replayer.
+FLIGHT_META_KEY = "flight"
 
 MANIFEST_NAME = "manifest.json"
 PROGRAM_NAME = "program.json"
@@ -203,9 +218,21 @@ class Recording:
         if self.config.capo.compress_chunk_log:
             (directory / CHUNKS_COMPRESSED_NAME).write_bytes(
                 compress_chunks(self.chunks, version=chunk_version))
+        else:
+            # Re-saving into a directory whose previous occupant had the
+            # section: a stale chunks.qrz would shadow nothing today (the
+            # raw log wins on load) but diverges from this save's chunks
+            # the moment chunks.bin is pruned. Same-name sections this
+            # save does not write must not survive it.
+            (directory / CHUNKS_COMPRESSED_NAME).unlink(missing_ok=True)
         if self.checkpoints:
             (directory / CHECKPOINTS_NAME).write_bytes(
                 encode_checkpoints(self.checkpoints))
+        else:
+            # A stale checkpoints.bin against "checkpoint_count: 0" in the
+            # fresh manifest makes the *next* load fail with a count
+            # mismatch.
+            (directory / CHECKPOINTS_NAME).unlink(missing_ok=True)
         manifest = {
             "format": "quickrec-recording",
             "version": 1,
@@ -233,8 +260,11 @@ class Recording:
         if manifest.get("format") != "quickrec-recording":
             raise LogFormatError("not a quickrec recording directory")
         config = SimConfig.from_dict(manifest["config"])
-        program = Program.from_dict(
-            json.loads((directory / PROGRAM_NAME).read_text()))
+        try:
+            program = Program.from_dict(
+                json.loads((directory / PROGRAM_NAME).read_text()))
+        except FileNotFoundError as exc:
+            raise LogFormatError(f"no program image in {directory}") from exc
 
         def load_chunks() -> list[ChunkEntry]:
             chunk_path = directory / CHUNKS_NAME
@@ -250,7 +280,11 @@ class Recording:
             return chunks
 
         def load_events() -> list[InputEvent]:
-            events = decode_events((directory / INPUT_NAME).read_bytes())
+            try:
+                blob = (directory / INPUT_NAME).read_bytes()
+            except FileNotFoundError as exc:
+                raise LogFormatError(f"no input log in {directory}") from exc
+            events = decode_events(blob)
             if len(events) != manifest.get("event_count"):
                 raise LogFormatError("event count mismatch against manifest")
             return events

@@ -93,6 +93,13 @@ class ReplaySphereManager:
         self.core_chunk_logs: list[list[ChunkEntry]] = [
             [] for _ in machine.cores]
         self.events: list[InputEvent] = []
+        # Bounded-retention mode: when a FlightRing is attached (see
+        # attach_flight), the ring becomes the retention authority —
+        # chunks and events flow into it instead of the unbounded
+        # chunk_log/core_chunk_logs/events lists, and per-core order logs
+        # are trimmed at each eviction. Execution, logging *content* and
+        # every cycle charge are identical either way.
+        self.flight = None
         self.stats = RSMStats()
         self.telemetry = machine.telemetry
         # Hoisted enablement flag: the interposition paths run per kernel
@@ -153,6 +160,19 @@ class ReplaySphereManager:
         by core id."""
         return [recorder.order_log for recorder in self.recorders]
 
+    def attach_flight(self, ring) -> None:
+        """Switch to bounded retention through ``ring``
+        (:class:`~repro.flight.ring.FlightRing`). Must be attached before
+        the run starts; evictions trim the per-core order logs to the
+        retained window."""
+        self.flight = ring
+
+        def trim_order_logs(base_timestamp: int) -> None:
+            for recorder in self.recorders:
+                recorder.order_log.trim_before(base_timestamp)
+
+        ring.on_evict = trim_order_logs
+
     def _make_sink(self, core: Core, cbuf: ChunkBuffer):
         cost = self.machine.cost
         core_stream = self.core_chunk_logs[core.core_id]
@@ -162,7 +182,14 @@ class ReplaySphereManager:
             self.stats.chunks += 1
             core.cycles += cost.cbuf_entry_write
             self.stats.cycles_cbuf_write += cost.cbuf_entry_write
-            core_stream.append(entry)
+            flight = self.flight
+            if flight is None:
+                core_stream.append(entry)
+            else:
+                # Sink calls happen at termination under the fabric's
+                # serialized order clock, so ring arrivals are already in
+                # global schedule order (the CBUF drain below is not).
+                flight.push_chunk(entry)
             cbuf.append(entry)
 
         return sink
@@ -171,7 +198,8 @@ class ReplaySphereManager:
         cost = self.machine.cost
 
         def on_drain(batch: list[ChunkEntry]) -> None:
-            self.chunk_log.extend(batch)
+            if self.flight is None:
+                self.chunk_log.extend(batch)
             self.stats.cbuf_drains += 1
             if self.mode == MODE_FULL:
                 charge = (cost.cbuf_drain_interrupt
@@ -261,7 +289,8 @@ class ReplaySphereManager:
         buffer = self._event_buffers.get(rthread)
         if not buffer:
             return
-        self.events.extend(buffer)
+        if self.flight is None:
+            self.events.extend(buffer)
         drained = len(buffer)
         buffer.clear()
         charge = self.machine.cost.input_log_flush
@@ -286,6 +315,11 @@ class ReplaySphereManager:
         stats.input_events += 1
         stats.input_payload_bytes += payload_bytes
         stats.input_payload_dedup_bytes += payload_bytes - fresh
+        if self.flight is not None:
+            # Tap before batching: _log is called in kernel seq order,
+            # batch flushes are not, and a window event must reach the
+            # ring before the chunk needing it could ever be evicted.
+            self.flight.push_event(event)
         cost = self.machine.cost
         if self._batched:
             # Stage into the per-thread buffer; the interposition charge is
@@ -300,7 +334,8 @@ class ReplaySphereManager:
                       + cost.input_log_dup_per_byte * (payload_bytes - fresh))
             full = len(buffer) >= self._batch_size
         else:
-            self.events.append(event)
+            if self.flight is None:
+                self.events.append(event)
             charge = (cost.input_log_event
                       + cost.input_log_per_byte * payload_bytes)
             full = False

@@ -36,7 +36,7 @@ from . import __version__, session, workloads
 from .analysis import chunks as chunk_analysis
 from .perf import bench
 from .analysis.report import render_kv, render_metrics, render_table
-from .capo.recording import Recording
+from .capo.recording import FLIGHT_META_KEY, Recording
 from .config import (
     COHERENCE_MODELS,
     DEFAULT_CONFIG,
@@ -92,11 +92,56 @@ def _machine_overrides(args: argparse.Namespace,
     return config
 
 
+def _add_flight_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--flight-window", type=int, default=0, metavar="N",
+                        help="flight-recorder mode: retain only the last N "
+                             "epochs of chunk/input state in a bounded ring "
+                             "(0 = unbounded recording)")
+    parser.add_argument("--flight-epoch", type=int, default=None, metavar="K",
+                        help="chunks per flight epoch (default: "
+                             f"{DEFAULT_CONFIG.capo.flight_epoch_chunks})")
+
+
+def _flight_overrides(args: argparse.Namespace,
+                      config: SimConfig) -> SimConfig:
+    """Fold --flight-window/--flight-epoch into ``config.capo``."""
+    capo = config.capo
+    if getattr(args, "flight_window", 0):
+        capo = dataclasses.replace(capo, flight_window=args.flight_window)
+    if getattr(args, "flight_epoch", None) is not None:
+        capo = dataclasses.replace(capo,
+                                   flight_epoch_chunks=args.flight_epoch)
+    if capo is not config.capo:
+        config = dataclasses.replace(config, capo=capo)
+    return config
+
+
 def _traced_config(args: argparse.Namespace) -> SimConfig:
     """The default config with telemetry switched on."""
     return dataclasses.replace(
         DEFAULT_CONFIG,
         telemetry=TelemetryConfig(enabled=True, sampling=args.sampling))
+
+
+def _flight_trigger(args: argparse.Namespace, outcome) -> str | None:
+    """Why a crash bundle should be captured, or None."""
+    from .flight import detect_fault
+    if getattr(args, "flight_capture", False):
+        return "explicit capture (--flight-capture)"
+    return detect_fault(outcome)
+
+
+def _record_repro(args: argparse.Namespace) -> str:
+    """The copy-pasteable command that reproduces this recording run."""
+    parts = [f"quickrec record {args.workload} --seed {args.seed}",
+             f"--policy {args.policy}", f"--scale {args.scale}"]
+    if args.threads is not None:
+        parts.append(f"--threads {args.threads}")
+    if getattr(args, "flight_window", 0):
+        parts.append(f"--flight-window {args.flight_window}")
+    if getattr(args, "flight_epoch", None) is not None:
+        parts.append(f"--flight-epoch {args.flight_epoch}")
+    return " ".join(parts)
 
 
 def _cmd_record(args: argparse.Namespace) -> int:
@@ -110,7 +155,7 @@ def _cmd_record(args: argparse.Namespace) -> int:
                                      input_log_version=args.log_version,
                                      chunk_log_version=args.log_version,
                                      input_batch_events=args.batch))
-    config = _machine_overrides(args, config)
+    config = _flight_overrides(args, _machine_overrides(args, config))
     outcome = session.record(program, seed=args.seed, policy=args.policy,
                              input_files=inputs, config=config)
     recording = outcome.recording
@@ -136,10 +181,42 @@ def _cmd_record(args: argparse.Namespace) -> int:
                                 telemetry=outcome.telemetry)
         rows["checkpoints"] = len(recording.checkpoints)
         rows["checkpoint section bytes"] = recording.checkpoint_log_bytes()
+    flight = recording.metadata.get(FLIGHT_META_KEY)
+    if flight is not None:
+        rows["flight window"] = (f"{flight['window']} epochs x "
+                                 f"{flight['epoch_chunks']} chunks")
+        rows["flight evictions"] = flight["evictions"]
+        rows["window chunks / recorded"] = (f"{len(recording.chunks)} / "
+                                            f"{flight['chunks_seen']}")
+        rows["window events / recorded"] = (f"{len(recording.events)} / "
+                                            f"{flight['events_seen']}")
     print(render_kv(rows, title="recorded"))
     if args.out:
         recording.save(args.out)
         print(f"saved to {args.out}")
+    trigger = _flight_trigger(args, outcome)
+    if flight is not None and trigger is not None:
+        from .flight import write_crash_bundle
+        bundle_dir = (f"{args.out}-crash" if args.out
+                      else f"{args.workload}-crash")
+        repro = _record_repro(args)
+        bundle = write_crash_bundle(bundle_dir, recording, trigger=trigger,
+                                    repro=repro)
+        manifest = json.loads((bundle / "crash.json").read_text())
+        replay = manifest.get("replay")
+        verdict = ("(replay failed)" if replay is None
+                   else "yes" if replay["ok"] else "DIVERGED")
+        races = manifest.get("races")
+        print(render_kv({
+            "trigger": trigger,
+            "replays to fault": verdict,
+            "races in window": "(analyzer failed)" if races is None
+                               else races,
+            "bundle": str(bundle),
+        }, title="crash capture"))
+    elif trigger is not None:
+        print(f"note: {trigger}; rerun with --flight-window to capture "
+              "a crash bundle")
     if args.trace:
         outcome.telemetry.tracer.save(args.trace)
         print(f"trace written to {args.trace} "
@@ -152,8 +229,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                                       scale=args.scale)
     outcome = session.record(program, seed=args.seed, policy=args.policy,
                              input_files=inputs,
-                             config=_machine_overrides(
-                                 args, _traced_config(args)))
+                             config=_flight_overrides(
+                                 args, _machine_overrides(
+                                     args, _traced_config(args))))
     telemetry = outcome.telemetry
     if not args.no_replay:
         session.replay_recording(outcome.recording, telemetry=telemetry)
@@ -417,10 +495,15 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         print("error: --inject needs --matrix (the perturbed variant only "
               "runs there)", file=sys.stderr)
         return EXIT_USAGE
+    if args.flight and not args.artifacts:
+        print("error: --flight needs --artifacts (the crash bundle is "
+              "written next to the triage artifact)", file=sys.stderr)
+        return EXIT_USAGE
 
     options = SoakOptions(matrix=args.matrix, shrink=args.shrink,
                           inject=args.inject,
-                          max_shrink_evals=args.max_shrink_evals)
+                          max_shrink_evals=args.max_shrink_evals,
+                          flight_window=args.flight)
     telemetry = Telemetry(enabled=True) if args.trace else None
     report = run_campaign(args.count, base_seed=args.base_seed,
                           jobs=args.jobs, options=options,
@@ -443,6 +526,9 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         if args.artifacts:
             path = write_artifact(args.artifacts, verdict, options)
             print(f"  triage artifact: {path}")
+            bundle = path.parent / f"seed-{verdict.seed}-flight"
+            if bundle.is_dir():
+                print(f"  flight crash bundle: {bundle}")
     if args.trace:
         telemetry.tracer.save(args.trace)
         print(f"trace written to {args.trace}")
@@ -487,8 +573,13 @@ def build_parser() -> argparse.ArgumentParser:
                           help="batch input logging in per-thread buffers "
                                "of N events (0 = per-event; logs are "
                                "bit-identical either way)")
+    p_record.add_argument("--flight-capture", action="store_true",
+                          help="with --flight-window: write a crash bundle "
+                               "even when the run looks clean (explicit "
+                               "trigger)")
     _add_workload_args(p_record)
     _add_machine_args(p_record)
+    _add_flight_args(p_record)
     p_record.set_defaults(fn=_cmd_record)
 
     p_stats = sub.add_parser(
@@ -506,6 +597,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "of tables")
     _add_workload_args(p_stats)
     _add_machine_args(p_stats)
+    _add_flight_args(p_stats)
     p_stats.set_defaults(fn=_cmd_stats)
 
     p_replay = sub.add_parser("replay", help="replay a saved recording")
@@ -605,6 +697,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="evaluation budget per shrink (default 200)")
     p_fuzz.add_argument("--artifacts", default=None, metavar="DIR",
                         help="write a triage artifact per failing seed")
+    p_fuzz.add_argument("--flight", type=int, default=0, metavar="N",
+                        help="with --artifacts: re-record each failing seed "
+                             "under an N-epoch flight ring and write a "
+                             "crash bundle beside its artifact")
     p_fuzz.add_argument("--from-artifact", default=None, metavar="PATH",
                         help="re-run a triage artifact's (minimized) case "
                              "instead of a campaign")

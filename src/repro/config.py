@@ -208,6 +208,14 @@ class CapoConfig:
     format a bundle is *written* in (1 = row-packed, 2 = columnar
     delta-varint with streaming zlib); loading negotiates from the stream
     headers, so either setting reads both.
+
+    ``flight_window`` > 0 selects the bounded-memory flight-recorder mode
+    (iReplayer-style black box): only the last ``flight_window`` epochs of
+    ``flight_epoch_chunks`` chunks each are retained in a ring, older
+    epochs are discarded in O(1), and the retained window materializes as
+    a self-contained recording rebased to the window origin. 0 keeps the
+    unbounded log. Execution is bit-identical either way — the ring is an
+    observer, never a participant.
     """
 
     compress_chunk_log: bool = True
@@ -216,10 +224,16 @@ class CapoConfig:
     input_batch_events: int = 0
     input_log_version: int = 1
     chunk_log_version: int = 1
+    flight_window: int = 0
+    flight_epoch_chunks: int = 64
 
     def __post_init__(self) -> None:
         _require(self.input_batch_events >= 0,
                  "input_batch_events must be >= 0 (0 disables batching)")
+        _require(self.flight_window >= 0,
+                 "flight_window must be >= 0 (0 disables the flight ring)")
+        _require(self.flight_epoch_chunks >= 1,
+                 "flight_epoch_chunks must be >= 1")
         _require(self.input_log_version in LOG_VERSIONS,
                  f"input_log_version must be one of {LOG_VERSIONS}")
         _require(self.chunk_log_version in LOG_VERSIONS,

@@ -1,0 +1,23 @@
+"""Bounded-memory flight recording: the always-on black box.
+
+QuickRec's recording hardware is cheap enough to leave on permanently;
+the software story that matches it in production is iReplayer's in-situ
+model — record into bounded memory, retain only the last epochs, replay
+on demand when something goes wrong. This package provides:
+
+- :class:`FlightRing` — an epoch ring attached to the RSM that keeps the
+  last N checkpoint intervals of chunk/input state, discards older
+  epochs in O(1), and materializes the retained window as a
+  self-contained, replayable :class:`~repro.capo.recording.Recording`
+  rebased to the window origin;
+- :func:`write_crash_bundle` / :func:`detect_fault` — crash capture: the
+  windowed recording, a forensics race report, a replay-to-fault
+  verification and a reproducer, packaged into one directory.
+"""
+
+from .crash import (  # noqa: F401
+    detect_fault,
+    load_crash_manifest,
+    write_crash_bundle,
+)
+from .ring import FLIGHT_META_KEY, FlightRing  # noqa: F401

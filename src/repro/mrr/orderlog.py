@@ -56,6 +56,8 @@ class CoreOrderLog:
         # High-water mark of remote timestamps piggybacked on victim
         # notifications (observe_victims).
         self.observed_remote = 0
+        # Records dropped by trim_before (flight-ring retention).
+        self.trimmed = 0
 
     def observe_remote(self, timestamp: int) -> None:
         """A transaction of this core terminated a remote chunk; its
@@ -68,11 +70,26 @@ class CoreOrderLog:
         pred = self.local_clock
         if self.observed_remote > pred:
             pred = self.observed_remote
-        record = OrderRecord(seq=len(self.records), rthread=rthread,
+        record = OrderRecord(seq=self.trimmed + len(self.records),
+                             rthread=rthread,
                              timestamp=timestamp, pred_ts=pred)
         self.records.append(record)
         self.local_clock = timestamp
         return record
+
+    def trim_before(self, timestamp: int) -> int:
+        """Drop records older than ``timestamp`` (flight-ring eviction:
+        ordering metadata for discarded epochs is itself discarded, so the
+        order stream stays O(window) too). Returns the number dropped;
+        ``trimmed`` keeps ``seq`` assignment dense across trims."""
+        records = self.records
+        keep = 0
+        while keep < len(records) and records[keep].timestamp < timestamp:
+            keep += 1
+        if keep:
+            del records[:keep]
+            self.trimmed += keep
+        return keep
 
     def __len__(self) -> int:
         return len(self.records)

@@ -1,0 +1,99 @@
+"""Flight-recorder cost and fidelity measurement.
+
+The flight ring's contract has two measurable halves:
+
+- **fidelity** — a flight run is bit-identical to an unbounded run of
+  the same seed: same execution (cycles, instruction counts), and the
+  materialized window replays to the *same final digests, outputs and
+  exit codes* as replaying the unbounded log (the base state carries the
+  dropped prefix's cumulative effects);
+- **boundedness** — ring occupancy is O(window): the maximum number of
+  chunks ever retained never exceeds ``(window + 1) * epoch_chunks``, no
+  matter how long the run, while the unbounded log keeps growing.
+
+:func:`measure_flight` records the same workload twice (ring off / ring
+on) and packages both halves into one comparison row; the T5 bench
+sweeps problem scale to show the unbounded log growing past a ring
+occupancy that stays flat.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..capo.recording import FLIGHT_META_KEY
+from ..config import DEFAULT_CONFIG, SimConfig
+from ..isa.program import Program
+
+
+@dataclass(frozen=True)
+class FlightComparison:
+    """One workload recorded unbounded and under a flight ring."""
+
+    name: str
+    window: int
+    epoch_chunks: int
+    chunks_total: int           # unbounded log length
+    events_total: int
+    window_chunks: int          # chunks the materialized window retained
+    evictions: int
+    max_chunks_retained: int    # peak ring occupancy during the run
+    cycles_unbounded: int
+    cycles_flight: int
+    replay_digest_unbounded: str
+    replay_digest_flight: str
+
+    @property
+    def ring_bound(self) -> int:
+        """The O(window) occupancy ceiling: ``window`` sealed epochs plus
+        the open bucket."""
+        return (self.window + 1) * self.epoch_chunks
+
+    @property
+    def bounded(self) -> bool:
+        return self.max_chunks_retained <= self.ring_bound
+
+    @property
+    def bit_identical(self) -> bool:
+        """Same execution and same replay outcome, ring on or off."""
+        return (self.cycles_unbounded == self.cycles_flight
+                and self.replay_digest_unbounded == self.replay_digest_flight)
+
+
+def measure_flight(program: Program, *, window: int,
+                   epoch_chunks: int | None = None, seed: int = 0,
+                   policy: str = "random", input_files=None,
+                   config: SimConfig | None = None,
+                   name: str = "") -> FlightComparison:
+    """Record ``program`` unbounded and under an ``(window, epoch)`` ring
+    with the same seed; replay both; compare."""
+    from .. import session
+
+    config = config or DEFAULT_CONFIG
+    capo = dataclasses.replace(config.capo, flight_window=window)
+    if epoch_chunks is not None:
+        capo = dataclasses.replace(capo, flight_epoch_chunks=epoch_chunks)
+    flight_config = dataclasses.replace(config, capo=capo)
+
+    unbounded = session.record(program, seed=seed, policy=policy,
+                               input_files=input_files, config=config)
+    flight = session.record(program, seed=seed, policy=policy,
+                            input_files=input_files, config=flight_config)
+    info = flight.recording.metadata[FLIGHT_META_KEY]
+    return FlightComparison(
+        name=name or program.name,
+        window=capo.flight_window,
+        epoch_chunks=capo.flight_epoch_chunks,
+        chunks_total=len(unbounded.recording.chunks),
+        events_total=len(unbounded.recording.events),
+        window_chunks=len(flight.recording.chunks),
+        evictions=info["evictions"],
+        max_chunks_retained=info["max_chunks_retained"],
+        cycles_unbounded=unbounded.total_cycles,
+        cycles_flight=flight.total_cycles,
+        replay_digest_unbounded=session.replay_recording(
+            unbounded.recording).digest(),
+        replay_digest_flight=session.replay_recording(
+            flight.recording).digest(),
+    )

@@ -200,6 +200,38 @@ def restore_replayer(recording: Recording, state: ReplayState,
     return replayer
 
 
+# -- flight-window base ------------------------------------------------------
+
+def flight_base_state(recording: Recording) -> ReplayState | None:
+    """The window-origin state of a materialized flight recording.
+
+    A flight window captured after evictions embeds the ring-base replay
+    state as a checkpoint at position 0 (fresh-replayer construction is
+    wrong there: the dropped prefix's memory, thread and kernel state
+    live only in that record). None for ordinary recordings and for
+    flight windows that never evicted.
+    """
+    from ..capo.recording import FLIGHT_META_KEY
+    if FLIGHT_META_KEY not in recording.metadata:
+        return None
+    record = recording.checkpoint_at(0)
+    if record is None:
+        return None
+    return decode_state(record.payload)
+
+
+def base_replayer(recording: Recording,
+                  telemetry: Telemetry | None = None) -> Replayer:
+    """A replayer at position 0 of ``recording`` — fresh for ordinary
+    recordings, restored from the embedded window-origin state for
+    materialized flight windows. Every "replay from the start" path must
+    come through here."""
+    state = flight_base_state(recording)
+    if state is None:
+        return Replayer(recording, telemetry=telemetry)
+    return restore_replayer(recording, state, telemetry=telemetry)
+
+
 # -- building ----------------------------------------------------------------
 
 def build_checkpoints(recording: Recording, every: int,
@@ -214,7 +246,7 @@ def build_checkpoints(recording: Recording, every: int,
     """
     if every <= 0:
         raise ReproError(f"checkpoint interval must be positive, got {every}")
-    replayer = Replayer(recording, telemetry=telemetry)
+    replayer = base_replayer(recording, telemetry=telemetry)
     records: list[CheckpointRecord] = []
     start = time.perf_counter()
     while replayer.step_chunk() is not None:
@@ -252,7 +284,10 @@ def replayer_at(recording: Recording, position: int,
         replayer = restore_replayer(recording, decode_state(record.payload),
                                     telemetry=telemetry)
     else:
-        replayer = Replayer(recording, telemetry=telemetry)
+        # Position 0: a fresh replayer — or, for a flight window, the
+        # embedded window-origin state (which is the position-0 record
+        # nearest_checkpoint just found).
+        replayer = base_replayer(recording, telemetry=telemetry)
     while replayer.position < position:
         if replayer.step_chunk() is None:
             raise ReproError(

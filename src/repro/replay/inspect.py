@@ -70,7 +70,7 @@ class ReplayInspector:
         if checkpoint_every < 0:
             raise ReproError("checkpoint_every must be >= 0")
         self.recording = recording
-        self._replayer = Replayer(recording)
+        self._replayer = self._fresh_replayer()
         self._checkpoint_every = checkpoint_every
         # position -> frozen Replayer snapshot (position 0 is implicit:
         # a fresh Replayer). Checkpoints *embedded* in the recording are
@@ -108,13 +108,21 @@ class ReplayInspector:
             elif in_memory:
                 self._replayer = _clone_replayer(self._checkpoints[in_memory])
             else:
-                self._replayer = Replayer(self.recording)
+                self._replayer = self._fresh_replayer()
         elif embedded_pos > self.position:
             self._replayer = self._restore_embedded(embedded)
         self.run_to_index(index)
 
+    def _fresh_replayer(self) -> Replayer:
+        # base_replayer: a flight window's position 0 is its embedded
+        # ring-base state, not a fresh Replayer.
+        from .checkpoint import base_replayer
+        return base_replayer(self.recording)
+
     def _restore_embedded(self, record) -> Replayer:
         from .checkpoint import decode_state, restore_replayer
+        if record.position == 0:
+            return self._fresh_replayer()
         return restore_replayer(self.recording, decode_state(record.payload))
 
     @property

@@ -33,9 +33,9 @@ from pathlib import Path
 from ..capo.recording import Recording
 from ..errors import ReplayDivergenceError, ReproError
 from ..telemetry import NULL_TELEMETRY, Telemetry
-from .checkpoint import capture_state, decode_state, restore_replayer, \
-    state_digest
-from .replayer import Replayer, ReplayResult
+from .checkpoint import base_replayer, capture_state, decode_state, \
+    restore_replayer, state_digest
+from .replayer import ReplayResult
 
 
 @dataclass(frozen=True)
@@ -100,7 +100,9 @@ def _replay_one(recording: Recording, interval: Interval,
     ReplayResult when it is the last interval)."""
     start_wall = time.perf_counter()
     if interval.start == 0:
-        replayer = Replayer(recording)
+        # base_replayer, not a bare Replayer: a flight window's position
+        # 0 restores the embedded ring-base state.
+        replayer = base_replayer(recording)
     else:
         record = recording.checkpoint_at(interval.start)
         if record is None:

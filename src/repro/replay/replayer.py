@@ -194,7 +194,11 @@ class Replayer:
         port = ReplayPort(self.memory, withheld, telemetry=self.telemetry)
         if self.port_wrapper is not None:
             port = self.port_wrapper(rthread, engine, port)
-        events = self._events_by_thread.get(rthread, deque())
+        # setdefault, not get: the thread context and the event map must
+        # share one deque, so events appended *after* thread creation (the
+        # flight ring feeds the shadow replayer incrementally) still reach
+        # the context.
+        events = self._events_by_thread.setdefault(rthread, deque())
         self.threads[rthread] = _ReplayThread(rthread, engine, withheld,
                                               port, events)
 

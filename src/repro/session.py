@@ -35,7 +35,7 @@ from .kernel.kernel import Kernel
 from .machine.interleave import make_interleaver
 from .machine.machine import Machine
 from .perf.costmodel import CostModel
-from .replay.replayer import Replayer, ReplayResult
+from .replay.replayer import ReplayResult
 from .replay.verify import VerificationReport, verify_replay
 from .telemetry import Telemetry
 
@@ -162,6 +162,18 @@ def simulate(program: Program, config: SimConfig | None = None,
             kernel.add_process(extra, stack_top=stack_top, recorded=False)
     else:
         kernel.boot()
+    flight_ring = None
+    if rsm is not None and mode == MODE_FULL and config.capo.flight_window > 0:
+        # Bounded retention: the ring (and its shadow replayer) must know
+        # the sphere layout before the first chunk terminates.
+        from .flight import FlightRing
+        ring_meta = {}
+        if sphere_region is not None:
+            ring_meta = {"sphere_region": list(sphere_region),
+                         "main_sp": main_sp}
+        flight_ring = FlightRing(config, program, metadata=ring_meta,
+                                 telemetry=telemetry)
+        rsm.attach_flight(flight_ring)
     interleaver = make_interleaver(policy, seed)
     units = kernel.run(interleaver, max_units=max_units)
 
@@ -200,13 +212,18 @@ def simulate(program: Program, config: SimConfig | None = None,
         if sphere_region is not None:
             metadata["sphere_region"] = list(sphere_region)
             metadata["main_sp"] = main_sp
-        recording = Recording(
-            config=config,
-            program=program,
-            chunks=list(rsm.chunk_log),
-            events=list(rsm.events),
-            metadata=metadata,
-        )
+        if flight_ring is not None:
+            # The retained window, rebased to its origin; replays to the
+            # same final digests as the unbounded recording would.
+            recording = flight_ring.materialize(metadata)
+        else:
+            recording = Recording(
+                config=config,
+                program=program,
+                chunks=list(rsm.chunk_log),
+                events=list(rsm.events),
+                metadata=metadata,
+            )
     if telemetry.enabled:
         telemetry.tracer.instant("run.end", cat="session",
                                  args={"units": units,
@@ -263,9 +280,15 @@ def add_checkpoints(recording: Recording, every: int,
     chunk-schedule position. The checkpoints ride along in the bundle
     (``checkpoints.bin``) and enable O(interval) seek and parallel replay.
     """
+    from .capo.recording import FLIGHT_META_KEY
     from .replay.checkpoint import build_checkpoints
-    recording.checkpoints = build_checkpoints(recording, every,
-                                              telemetry=telemetry)
+    # A flight window's position-0 record is its replay base, not a
+    # periodic checkpoint — it must survive a (re)build.
+    base = recording.checkpoint_at(0) \
+        if FLIGHT_META_KEY in recording.metadata else None
+    records = build_checkpoints(recording, every, telemetry=telemetry)
+    recording.checkpoints = ([base] + records) if base is not None \
+        else records
     return recording
 
 
@@ -283,7 +306,8 @@ def replay_recording(recording: Recording,
         result, _report = replay_parallel(recording=recording, jobs=jobs,
                                           telemetry=telemetry)
         return result
-    return Replayer(recording, telemetry=telemetry).run()
+    from .replay.checkpoint import base_replayer
+    return base_replayer(recording, telemetry=telemetry).run()
 
 
 def verify(outcome: RunOutcome, replayed: ReplayResult) -> VerificationReport:

@@ -29,18 +29,25 @@ class SoakOptions:
     :data:`~repro.soak.differential.INJECTABLE`) — the harness's own
     end-to-end self-test; it requires ``matrix`` since the perturbed
     variant only runs there.
+
+    ``flight_window`` > 0 makes triage re-record each failing seed under
+    an N-epoch flight ring and package the window as a crash bundle
+    beside the artifact (the soak-oracle-divergence capture trigger).
     """
 
     matrix: bool = False
     shrink: bool = False
     inject: str | None = None
     max_shrink_evals: int = 200
+    flight_window: int = 0
 
     def __post_init__(self) -> None:
         if self.inject is not None and self.inject not in INJECTABLE:
             raise ValueError(
                 f"unknown injection {self.inject!r}; choose from "
                 f"{INJECTABLE}")
+        if self.flight_window < 0:
+            raise ValueError("flight_window must be >= 0")
 
 
 @dataclass

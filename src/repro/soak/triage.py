@@ -75,6 +75,42 @@ def _forensic_report(case: FuzzCase) -> dict[str, Any]:
     return report.as_dict()
 
 
+def _flight_bundle(directory: Path, verdict: SeedVerdict,
+                   options: SoakOptions) -> Path:
+    """Re-record the failing case under a flight ring and package the
+    retained window as a crash bundle — the soak-oracle-divergence
+    capture trigger. Uses the minimized case when the shrinker kept one."""
+    import dataclasses
+
+    from .. import session
+    from ..flight import write_crash_bundle
+    from ..workloads.fuzz import generate_case
+
+    case = (verdict.shrunk.case if verdict.shrunk is not None
+            else generate_case(verdict.seed))
+    config = dataclasses.replace(
+        case.config,
+        capo=dataclasses.replace(case.config.capo,
+                                 flight_window=options.flight_window))
+    outcome = session.record(case.build(), seed=case.run_seed,
+                             policy=case.policy, config=config)
+    headlines = "; ".join(failure.headline()
+                          for failure in verdict.failures)
+    reproducer = None
+    if verdict.shrunk is not None:
+        reproducer = {
+            "case": _case_to_dict(verdict.shrunk.case),
+            "ops_before": verdict.shrunk.ops_before,
+            "ops_after": verdict.shrunk.ops_after,
+            "evals": verdict.shrunk.evals,
+        }
+    return write_crash_bundle(
+        directory / f"seed-{verdict.seed}-flight", outcome.recording,
+        trigger=f"soak-oracle divergence: {headlines}",
+        repro=repro_command(verdict.seed, options),
+        reproducer=reproducer)
+
+
 def write_artifact(directory: str | Path, verdict: SeedVerdict,
                    options: SoakOptions, forensics: bool = True) -> Path:
     """Write ``seed-<N>.json`` for a failing verdict; returns the path."""
@@ -116,6 +152,15 @@ def write_artifact(directory: str | Path, verdict: SeedVerdict,
         except Exception as exc:  # noqa: BLE001 -- capture, don't fail triage
             artifact["forensics"] = None
             artifact["forensics_error"] = f"{type(exc).__name__}: {exc}"
+    if options.flight_window > 0:
+        # Same best-effort contract: a capture failure is recorded in the
+        # artifact but never loses the triage itself.
+        try:
+            bundle = _flight_bundle(directory, verdict, options)
+            artifact["flight_bundle"] = bundle.name
+        except Exception as exc:  # noqa: BLE001
+            artifact["flight_bundle"] = None
+            artifact["flight_error"] = f"{type(exc).__name__}: {exc}"
     path = directory / f"seed-{verdict.seed}.json"
     path.write_text(json.dumps(artifact, indent=2) + "\n")
     return path

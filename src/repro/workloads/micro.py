@@ -376,5 +376,39 @@ register(Workload("iobound", "syscall-dominated file reads and writes",
                   "micro", _build_iobound))
 register(Workload("repcopy", "rep_movs bulk copies racing scattered stores",
                   "micro", _build_repcopy))
+def _build_crasher(threads: int, scale: int) -> tuple[Program, dict[str, bytes]]:
+    """A workload that detects its own corruption: every thread
+    plain-RMWs the shared ``racy`` word (lost updates under almost any
+    preemptive interleaving), and after the join main compares the total
+    against the race-free expectation and exits 1 on mismatch — the
+    deterministic-per-seed faulting workload the flight-recorder crash
+    path is exercised with."""
+    threads = max(2, threads)
+    iters = 40 * scale
+    h = WorkloadHarness(threads, "crasher")
+    b = h.b
+    b.word("racy", 0)
+
+    def epilogue() -> None:
+        h.emit_checksum_write("racy", 1)
+        ok = b.fresh("ok")
+        b.ins("load", "r7", "[racy]")
+        b.ins("cmp", "r7", threads * iters)
+        b.ins("jge", ok)
+        b.exit(1)
+        b.label(ok)
+
+    h.emit_main(epilogue=epilogue)
+    b.label("body")
+    with b.for_range("r6", 0, iters):
+        b.ins("load", "r7", "[racy]")
+        b.ins("add", "r7", "r7", 1)
+        b.ins("store", "[racy]", "r7")
+    b.ins("ret")
+    return h.build(), {}
+
+
 register(Workload("racer", "seeded data race beside a correctly locked word",
                   "micro", _build_racer, default_threads=2))
+register(Workload("crasher", "self-checking lost-update fault (exits nonzero)",
+                  "micro", _build_crasher, default_threads=2))

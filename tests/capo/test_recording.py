@@ -194,3 +194,61 @@ def test_v2_compressed_fallback_load(recording_v2, tmp_path):
     loaded = Recording.load(directory)
     assert loaded.chunks == sorted(recording_v2.chunks,
                                    key=lambda c: c.sort_key)
+
+
+# -- lifecycle regressions ----------------------------------------------------
+# Pruned bundles must fail with the format error contract, and re-saving
+# over an existing bundle must not leave stale section files behind.
+
+
+def test_load_missing_program_image_is_log_format_error(recording, tmp_path):
+    directory = recording.save(tmp_path / "rec")
+    (directory / "program.json").unlink()
+    with pytest.raises(LogFormatError, match="no program image"):
+        Recording.load(directory)
+
+
+def test_load_missing_input_log_is_log_format_error(recording, tmp_path):
+    directory = recording.save(tmp_path / "rec")
+    (directory / "input.bin").unlink()
+    loaded = Recording.load(directory)  # sections are lazy: load succeeds
+    with pytest.raises(LogFormatError, match="no input log"):
+        loaded.events
+    # the error names the bundle so the user knows *which* one is pruned
+    with pytest.raises(LogFormatError, match=str(directory)):
+        loaded.events
+
+
+def test_resave_removes_stale_checkpoint_section(recording, tmp_path):
+    import copy
+
+    from repro.mrr.logfmt import CheckpointRecord
+
+    rec = copy.copy(recording)
+    rec.checkpoints = [CheckpointRecord.for_payload(0, b"state")]
+    directory = rec.save(tmp_path / "rec")
+    assert (directory / "checkpoints.bin").exists()
+
+    rec.checkpoints = []
+    rec.save(directory)
+    assert not (directory / "checkpoints.bin").exists()
+    loaded = Recording.load(directory)
+    assert loaded.checkpoints == []
+
+
+def test_resave_removes_stale_compressed_chunks(recording, tmp_path):
+    import copy
+    import dataclasses
+
+    directory = recording.save(tmp_path / "rec")
+    assert (directory / "chunks.qrz").exists()
+
+    uncompressed = copy.copy(recording)
+    uncompressed.config = dataclasses.replace(
+        recording.config,
+        capo=dataclasses.replace(recording.config.capo,
+                                 compress_chunk_log=False))
+    uncompressed.save(directory)
+    assert not (directory / "chunks.qrz").exists()
+    loaded = Recording.load(directory)
+    assert loaded.chunks == recording.chunks

@@ -1,0 +1,92 @@
+"""Crash capture: fault detection, bundle writing, manifest contract."""
+
+import json
+
+import pytest
+
+from repro import session
+from repro.errors import LogFormatError
+from repro.flight import detect_fault, load_crash_manifest, write_crash_bundle
+from repro.flight.crash import FORENSICS_NAME, MANIFEST_NAME, RECORDING_DIR
+
+from .test_ring import _flight_config, _record
+
+
+def test_detect_fault_clean_run():
+    outcome = _record(name="counter", threads=2, seed=3)
+    assert detect_fault(outcome) is None
+
+
+def test_detect_fault_nonzero_exit():
+    # the crasher workload self-checks for lost updates and exits 1
+    outcome = _record(name="crasher", seed=3)
+    trigger = detect_fault(outcome)
+    assert trigger is not None
+    assert "exited 1" in trigger
+
+
+def test_crash_bundle_roundtrip(tmp_path):
+    outcome = _record(name="crasher", seed=3, config=_flight_config())
+    trigger = detect_fault(outcome)
+    bundle = write_crash_bundle(tmp_path / "bundle", outcome.recording,
+                                trigger=trigger, repro="quickrec record ...")
+    assert (bundle / MANIFEST_NAME).exists()
+    assert (bundle / RECORDING_DIR / "manifest.json").exists()
+    assert (bundle / FORENSICS_NAME).exists()
+
+    manifest = load_crash_manifest(bundle)
+    assert manifest["trigger"] == trigger
+    assert manifest["flight"]["evictions"] >= 1
+    # the bundle verified itself: the window replays to the recorded fault
+    assert manifest["replay"]["ok"] is True
+    assert any(code == 1
+               for code in manifest["replay"]["exit_codes"].values())
+    assert manifest["races"] is not None
+
+    # the captured window replays on its own from the saved bundle
+    from repro.capo.recording import Recording
+    loaded = Recording.load(bundle / RECORDING_DIR)
+    replayed = session.replay_recording(loaded)
+    assert any(code == 1 for code in replayed.exit_codes.values())
+
+
+def test_crash_bundle_carries_reproducer(tmp_path):
+    outcome = _record(name="crasher", seed=3, config=_flight_config())
+    shrunk = {"ops_before": 40, "ops_after": 4, "evals": 17}
+    bundle = write_crash_bundle(tmp_path / "bundle", outcome.recording,
+                                trigger="explicit", reproducer=shrunk,
+                                forensics=False)
+    manifest = load_crash_manifest(bundle)
+    assert manifest["reproducer"] == shrunk
+    assert not (bundle / FORENSICS_NAME).exists()
+
+
+def test_load_crash_manifest_rejects_garbage(tmp_path):
+    with pytest.raises(LogFormatError, match="no crash manifest"):
+        load_crash_manifest(tmp_path / "nope")
+    directory = tmp_path / "bad"
+    directory.mkdir()
+    (directory / MANIFEST_NAME).write_text("{not json")
+    with pytest.raises(LogFormatError, match="not valid JSON"):
+        load_crash_manifest(directory)
+    (directory / MANIFEST_NAME).write_text(json.dumps({"format": "other"}))
+    with pytest.raises(LogFormatError, match="not a crash bundle"):
+        load_crash_manifest(directory)
+
+
+def test_soak_triage_attaches_flight_bundle(tmp_path):
+    # a failing soak verdict with flight_window set writes a crash bundle
+    # beside the triage artifact (soak-oracle divergence trigger)
+    from repro.soak import SoakOptions, write_artifact
+    from repro.soak.campaign import run_seed
+
+    options = SoakOptions(matrix=True, inject="decode-cache",
+                          flight_window=2)
+    verdict = run_seed(0, options)
+    assert not verdict.ok
+    path = write_artifact(tmp_path, verdict, options, forensics=False)
+    artifact = json.loads(path.read_text())
+    assert artifact["flight_bundle"] == "seed-0-flight"
+    manifest = load_crash_manifest(tmp_path / "seed-0-flight")
+    assert manifest["trigger"].startswith("soak-oracle divergence")
+    assert manifest["replay"]["ok"] is True

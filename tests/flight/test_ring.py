@@ -1,0 +1,105 @@
+"""FlightRing unit behaviour: retention, eviction, materialization."""
+
+import dataclasses
+
+import pytest
+
+from repro import session, workloads
+from repro.capo.recording import FLIGHT_META_KEY
+from repro.config import DEFAULT_CONFIG
+from repro.flight import FlightRing
+from repro.replay.schedule import build_schedule, validate_schedule
+from repro.telemetry import Telemetry
+
+WINDOW = 2
+EPOCH = 16
+
+
+def _flight_config(window=WINDOW, epoch=EPOCH):
+    return dataclasses.replace(
+        DEFAULT_CONFIG,
+        capo=dataclasses.replace(DEFAULT_CONFIG.capo, flight_window=window,
+                                 flight_epoch_chunks=epoch))
+
+
+def _record(name="racer", seed=11, config=None, **kwargs):
+    program, inputs = workloads.build(name, **kwargs)
+    return session.record(program, seed=seed, input_files=inputs,
+                          config=config or DEFAULT_CONFIG)
+
+
+def test_ring_rejects_bad_geometry():
+    program, _ = workloads.build("counter", threads=2)
+    with pytest.raises(ValueError):
+        FlightRing(DEFAULT_CONFIG, program, window=0)
+    with pytest.raises(ValueError):
+        FlightRing(DEFAULT_CONFIG, program, window=1, epoch_chunks=0)
+
+
+def test_retention_is_bounded_by_window():
+    outcome = _record(config=_flight_config())
+    info = outcome.recording.metadata[FLIGHT_META_KEY]
+    assert info["evictions"] >= 2
+    assert info["max_chunks_retained"] <= (WINDOW + 1) * EPOCH
+    assert info["chunks_seen"] > info["max_chunks_retained"]
+    assert len(outcome.recording.chunks) <= (WINDOW + 1) * EPOCH
+
+
+def test_zero_eviction_window_is_plain_recording():
+    # a window larger than the run: nothing evicted, no base checkpoint
+    outcome = _record(name="counter", threads=2, seed=3,
+                      config=_flight_config(window=10_000))
+    recording = outcome.recording
+    info = recording.metadata[FLIGHT_META_KEY]
+    assert info["evictions"] == 0
+    assert info["base_position"] == 0
+    assert recording.checkpoints == []
+    assert "timestamp_origin" not in info
+    unbounded = _record(name="counter", threads=2, seed=3)
+    # the ring retains chunks in schedule order; the unbounded log is in
+    # CBUF drain order — same chunks, same schedule
+    assert build_schedule(recording.chunks) == \
+        build_schedule(unbounded.recording.chunks)
+    assert recording.events == unbounded.recording.events
+
+
+def test_materialized_window_is_rebased_and_valid():
+    outcome = _record(config=_flight_config())
+    recording = outcome.recording
+    info = recording.metadata[FLIGHT_META_KEY]
+    assert info["evictions"] >= 1
+    assert info["timestamp_origin"] > 0
+    schedule = build_schedule(recording.chunks)
+    validate_schedule(schedule)  # rebased window stands on its own
+    assert schedule[0].timestamp == 1
+    # the base state is embedded as a position-0 checkpoint
+    assert [record.position for record in recording.checkpoints] == [0]
+    # event sequence numbers stay absolute (aligned with the base state)
+    assert all(event.seq >= 0 for event in recording.events)
+
+
+def test_ring_telemetry_gauges():
+    telemetry = Telemetry(enabled=True)
+    config = _flight_config()
+    program, inputs = workloads.build("racer")
+    session.record(program, seed=11, input_files=inputs, config=config,
+                   telemetry=telemetry)
+    snapshot = telemetry.snapshot()
+    assert snapshot["capture.flight_window"] == WINDOW
+    assert snapshot["capture.flight_epoch_chunks"] == EPOCH
+    assert snapshot["capture.evictions"] >= 2
+    assert snapshot["capture.chunks_retained"] <= (WINDOW + 1) * EPOCH
+    assert snapshot["capture.chunks_seen"] > \
+        snapshot["capture.chunks_retained"]
+
+
+def test_ring_is_pure_observer():
+    # flight on/off: identical execution (cycles, instructions, digests)
+    unbounded = _record()
+    flight = _record(config=_flight_config())
+    assert flight.total_cycles == unbounded.total_cycles
+    assert flight.instructions == unbounded.instructions
+    assert flight.exit_codes == unbounded.exit_codes
+    meta_f = dict(flight.recording.metadata)
+    meta_f.pop(FLIGHT_META_KEY)
+    assert meta_f == unbounded.recording.metadata

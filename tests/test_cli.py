@@ -283,3 +283,46 @@ def test_analyze_race_free_recording(tmp_path, capsys):
     assert main(["analyze", rec_dir]) == 0
     out = capsys.readouterr().out
     assert "no data races detected" in out
+
+
+def test_record_flight_window_captures_crash(tmp_path, capsys):
+    out_dir = tmp_path / "rec"
+    assert main(["record", "crasher", "--seed", "3", "-o", str(out_dir),
+                 "--flight-window", "2", "--flight-epoch", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "flight window" in out
+    assert "crash capture" in out
+    assert "replays to fault" in out
+    # the bundle landed beside the recording and replays clean
+    bundle = tmp_path / "rec-crash"
+    assert (bundle / "crash.json").exists()
+    assert main(["replay", str(bundle / "recording")]) == 0
+    assert "replay verified" in capsys.readouterr().out
+
+
+def test_record_flight_capture_explicit_trigger(tmp_path, capsys):
+    out_dir = tmp_path / "rec"
+    assert main(["record", "counter", "--threads", "2", "-o", str(out_dir),
+                 "--flight-window", "2", "--flight-capture"]) == 0
+    out = capsys.readouterr().out
+    assert "explicit capture" in out
+    assert (tmp_path / "rec-crash" / "crash.json").exists()
+
+
+def test_record_fault_without_flight_hints(capsys):
+    assert main(["record", "crasher", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "rerun with --flight-window" in out
+
+
+def test_stats_renders_capture_rows(capsys):
+    assert main(["stats", "racer", "--flight-window", "2",
+                 "--flight-epoch", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "capture.evictions" in out
+    assert "capture.chunks_retained" in out
+
+
+def test_fuzz_flight_requires_artifacts(capsys):
+    assert main(["fuzz", "--count", "1", "--flight", "2"]) == 2
+    assert "--flight needs --artifacts" in capsys.readouterr().err

@@ -238,7 +238,7 @@ def test_barrier_workloads_schedule_independent(name):
 
 def test_registry_contents():
     assert len(workloads.splash_names()) == 10
-    assert len(workloads.micro_names()) == 9
+    assert len(workloads.micro_names()) == 10
     assert set(workloads.all_names()) == set(workloads.splash_names()
                                              + workloads.micro_names())
 
